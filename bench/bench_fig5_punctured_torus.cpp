@@ -1,0 +1,105 @@
+// Fig. 5 — Path-based throughput on punctured 3x3x3 tori.
+//
+// 10 random instances each of edge-punctured (3 bidirectional links removed)
+// and node-punctured (3 nodes removed) tori; MCF-extP vs ILP-disjoint vs
+// SSSP; min/avg/max envelope over instances, as the paper plots.
+#include "bench_util.hpp"
+
+#include <map>
+
+#include "baselines/ilp_disjoint.hpp"
+#include "baselines/sssp.hpp"
+#include "mcf/path_mcf.hpp"
+#include "schedule/validate.hpp"
+
+using namespace a2a;
+using namespace a2a::bench;
+
+namespace {
+
+struct Envelope {
+  double min = 1e30, max = 0, sum = 0;
+  int count = 0;
+  void add(double v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+    ++count;
+  }
+  [[nodiscard]] double avg() const { return sum / count; }
+};
+
+void run_family(const std::string& family, bool puncture_nodes_mode,
+                Table& table) {
+  const DiGraph base = make_torus({3, 3, 3});
+  const Fabric fabric = hpc_cerio_fabric();
+  const auto buffers = buffer_sweep(17, 33, 4);
+  // scheme -> buffer index -> envelope
+  std::map<std::string, std::vector<Envelope>> envelopes;
+  for (const auto& name : {"MCF-extP", "ILP-disjoint", "SSSP"}) {
+    envelopes[name].resize(buffers.size());
+  }
+  for (int instance = 0; instance < 10; ++instance) {
+    Rng rng(1000 + static_cast<std::uint64_t>(instance));
+    const DiGraph g = puncture_nodes_mode ? puncture_nodes(base, 3, rng)
+                                          : puncture_edges(base, 3, rng);
+    const int n = g.num_nodes();
+    const auto nodes = all_nodes(g);
+
+    DecomposedOptions mcf;
+    mcf.master = MasterMode::kFptas;
+    mcf.fptas_epsilon = 0.03;
+    const auto flows = solve_decomposed_mcf(g, nodes, mcf);
+    const PathSchedule mcf_sched =
+        compile_path_schedule(g, paths_from_link_flows(g, flows), coarse_chunking());
+
+    const PathSet disjoint = build_disjoint_path_set(g, nodes);
+    IlpOptions ilp;
+    ilp.lower_bound = 1.0 / flows.concurrent_flow;
+    ilp.tolerance = 0.1;
+    ilp.time_limit_s = 8.0;
+    const auto ilp_result = ilp_single_path(g, disjoint, ilp);
+    const PathSchedule ilp_sched = single_route_schedule(
+        g, ilp_result.plan.commodities, ilp_result.plan.routes);
+
+    const auto sssp = sssp_routes(g, nodes);
+    const PathSchedule sssp_sched =
+        single_route_schedule(g, sssp.commodities, sssp.routes);
+
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      const double shard = buffers[b] / n;
+      envelopes["MCF-extP"][b].add(
+          simulate_path_schedule(g, mcf_sched, shard, n, fabric).algo_throughput_GBps);
+      envelopes["ILP-disjoint"][b].add(
+          simulate_path_schedule(g, ilp_sched, shard, n, fabric).algo_throughput_GBps);
+      envelopes["SSSP"][b].add(
+          simulate_path_schedule(g, sssp_sched, shard, n, fabric).algo_throughput_GBps);
+    }
+  }
+  for (std::size_t b = 0; b < buffers.size(); ++b) {
+    for (const auto& name : {"MCF-extP", "ILP-disjoint", "SSSP"}) {
+      const Envelope& env = envelopes[name][b];
+      table.row()
+          .cell(family)
+          .cell(human_bytes(buffers[b]))
+          .cell(name)
+          .cell(env.min, 2)
+          .cell(env.avg(), 2)
+          .cell(env.max, 2);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 5: punctured 3D torus throughput, 10 instances "
+               "(GB/s) ===\n\n";
+  Table table({"Family", "Buffer", "Scheme", "min", "avg", "max"});
+  run_family("edge-punctured", false, table);
+  run_family("node-punctured", true, table);
+  table.print(std::cout);
+  std::cout << "\nPaper shape: MCF-extP ~ ILP-disjoint, both well above SSSP"
+               " (~30% lower max link load).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 9 — GenKautz N=81 d=8 (648 arcs) with 0..60 randomly disabled links;
+// all-to-all time normalized by link-based MCF.
+//
+// Schemes: link MCF (normalizer), pMCF-disjoint, SSSP, ILP-disjoint at 10%
+// tolerance — exactly the Fig. 9 line-up.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "baselines/ilp_disjoint.hpp"
+#include "baselines/sssp.hpp"
+#include "mcf/fleischer.hpp"
+#include "mcf/path_mcf.hpp"
+
+using namespace a2a;
+using namespace a2a::bench;
+
+int main() {
+  std::cout << "=== Fig. 9: GenKautz(81, d=8) with disabled links, "
+               "normalized all-to-all time ===\n\n";
+  const DiGraph base = make_generalized_kautz(81, 8);
+  std::cout << base.summary() << "\n\n";
+  Table table({"disabled", "LinkMCF", "pMCF-disjoint", "SSSP",
+               "ILP-disjoint(10%)"});
+  Rng rng(4242);
+  for (const int disabled : {0, 10, 20, 30, 40, 50, 60}) {
+    const DiGraph g =
+        disabled == 0 ? base : disable_random_arcs(base, disabled, rng);
+    const auto nodes = all_nodes(g);
+
+    FleischerOptions tight;
+    tight.epsilon = 0.02;
+    const double f_grouped = fleischer_grouped(g, nodes, tight).concurrent_flow;
+
+    FleischerOptions path_eps;
+    path_eps.epsilon = 0.03;
+    const PathSet disjoint = build_disjoint_path_set(g, nodes);
+    const double f_pmcf = fleischer_paths(g, disjoint, path_eps).concurrent_flow;
+    // Normalize by the best feasible flow found (the true optimum dominates
+    // both approximations), keeping ratios >= ~1.
+    const double t_mcf = 1.0 / std::max(f_grouped, f_pmcf);
+    const double t_pmcf = 1.0 / f_pmcf;
+
+    const double t_sssp = sssp_routes(g, nodes).max_link_load(g);
+
+    IlpOptions ilp;
+    ilp.time_limit_s = 15.0;
+    ilp.tolerance = 0.10;
+    ilp.lower_bound = t_mcf;
+    const double t_ilp = ilp_single_path(g, disjoint, ilp).max_load;
+
+    table.row()
+        .cell(static_cast<long long>(disabled))
+        .cell(1.0, 3)
+        .cell(t_pmcf / t_mcf, 3)
+        .cell(t_sssp / t_mcf, 3)
+        .cell(t_ilp / t_mcf, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: MCF/pMCF stay near 1.0 as links fail; SSSP"
+               " degrades to ~1.4-1.8x; ILP-disjoint(10%) tracks MCF but"
+               " cannot scale in N.\n";
+  return 0;
+}

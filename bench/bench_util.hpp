@@ -1,0 +1,80 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/decomposed.hpp"
+#include "runtime/ct_simulator.hpp"
+#include "runtime/sf_simulator.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+
+namespace a2a::bench {
+
+/// Coarse chunking for N=27-scale path schedules: bounds chunks/shard (and
+/// QPs) at fabric-realistic counts, as the §4 Cerio lowering does.
+inline ChunkingOptions coarse_chunking() {
+  ChunkingOptions options;
+  options.max_denominator = 12;
+  options.min_fraction = 1e-3;
+  return options;
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times a callable, returning seconds.
+template <typename Fn>
+double timed(Fn&& fn) {
+  const double t0 = now_seconds();
+  fn();
+  return now_seconds() - t0;
+}
+
+/// Buffer-size sweep matching the paper's x-axes (per-node buffer bytes).
+inline std::vector<double> buffer_sweep(int lo_pow, int hi_pow, int step = 3) {
+  std::vector<double> out;
+  for (int p = lo_pow; p <= hi_pow; p += step) {
+    out.push_back(std::pow(2.0, p));
+  }
+  return out;
+}
+
+inline std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 3) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%s", bytes, units[u]);
+  return buf;
+}
+
+/// Builds a PathSchedule from single routes (one per commodity).
+inline PathSchedule single_route_schedule(const DiGraph& g,
+                                          const std::vector<std::pair<NodeId, NodeId>>& commodities,
+                                          const std::vector<Path>& routes) {
+  std::vector<CommodityPaths> cps;
+  cps.reserve(commodities.size());
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    CommodityPaths cp;
+    cp.src = commodities[k].first;
+    cp.dst = commodities[k].second;
+    cp.paths.push_back(WeightedPath{routes[k], 1.0});
+    cps.push_back(std::move(cp));
+  }
+  return compile_path_schedule(g, cps);
+}
+
+}  // namespace a2a::bench

@@ -1,0 +1,28 @@
+// Small shared helper for the examples: wrap single-route plans (SSSP, DOR,
+// native p2p) into a PathSchedule.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+
+namespace a2a {
+
+inline PathSchedule example_single_route_schedule(
+    const DiGraph& g, const std::vector<std::pair<NodeId, NodeId>>& commodities,
+    const std::vector<Path>& routes) {
+  std::vector<CommodityPaths> cps;
+  cps.reserve(commodities.size());
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    CommodityPaths cp;
+    cp.src = commodities[k].first;
+    cp.dst = commodities[k].second;
+    cp.paths.push_back(WeightedPath{routes[k], 1.0});
+    cps.push_back(std::move(cp));
+  }
+  return compile_path_schedule(g, cps);
+}
+
+}  // namespace a2a

@@ -1,0 +1,77 @@
+// Distributed 3D FFT — the §5.2 HPC workload end-to-end.
+//
+// Part 1 proves correctness: a real slab-decomposed distributed FFT (with an
+// explicit all-to-all exchange) is compared element-wise against the
+// single-node transform.
+// Part 2 models performance at paper scale: 729^3 and 1296^3 grids on the
+// 27-node torus, comparing the all-to-all band under MCF-extP vs SSSP
+// schedules (Fig. 6's comparison).
+#include <complex>
+#include <iostream>
+
+#include "baselines/sssp.hpp"
+#include "bench_helpers_example.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/decomposed.hpp"
+#include "runtime/ct_simulator.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+#include "workloads/fft3d.hpp"
+
+int main() {
+  using namespace a2a;
+
+  // ---- Part 1: exact distributed FFT -----------------------------------
+  const int n = 24;  // 24^3 grid, slabs across 3 ranks
+  std::vector<Complex> grid(static_cast<std::size_t>(n) * n * n);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = Complex(std::sin(0.01 * static_cast<double>(i)),
+                      std::cos(0.02 * static_cast<double>(i)));
+  }
+  auto reference = grid;
+  fft_3d(reference, n, n, n);
+  const auto distributed = run_fft3d_local(grid, n, /*ranks=*/3);
+  double err = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    err = std::max(err, std::abs(distributed[i] - reference[i]));
+  }
+  std::cout << "Distributed 24^3 FFT on 3 ranks: max error vs single node = "
+            << err << (err < 1e-8 ? "  (OK)\n" : "  (MISMATCH)\n");
+
+  // ---- Part 2: paper-scale timing model --------------------------------
+  const DiGraph torus = make_torus({3, 3, 3});
+  const Fabric fabric = hpc_cerio_fabric();
+  const auto nodes = all_nodes(torus);
+
+  DecomposedOptions mcf;
+  mcf.master = MasterMode::kFptas;
+  mcf.fptas_epsilon = 0.03;
+  const auto flows = solve_decomposed_mcf(torus, nodes, mcf);
+  const PathSchedule mcf_sched =
+      compile_path_schedule(torus, paths_from_link_flows(torus, flows));
+  const auto sssp = sssp_routes(torus, nodes);
+  const PathSchedule sssp_sched =
+      example_single_route_schedule(torus, sssp.commodities, sssp.routes);
+
+  std::cout << "\n3D FFT on the 27-node torus (32 threads/rank), seconds:\n";
+  std::cout << "grid    scheme     2DFFT+pack  all-to-all  unpack+1DFFT  total\n";
+  for (const int grid_n : {729, 1296}) {
+    for (const auto& [name, sched] :
+         std::vector<std::pair<std::string, const PathSchedule*>>{
+             {"MCF-extP", &mcf_sched}, {"SSSP", &sssp_sched}}) {
+      const auto t = model_fft3d_time(
+          grid_n, 27, 32,
+          [&](double bytes) {
+            return simulate_path_schedule(torus, *sched, bytes / 27, 27, fabric)
+                .seconds;
+          },
+          48);
+      std::printf("%-7d %-10s %-11.4f %-11.4f %-13.4f %.4f\n", grid_n,
+                  name.c_str(), t.fft2d_pack_s, t.alltoall_s, t.unpack_fft1d_s,
+                  t.total());
+    }
+  }
+  std::cout << "\nThe all-to-all band shrinks under the MCF schedule — the"
+               " Fig. 6 speedup.\n";
+  return 0;
+}

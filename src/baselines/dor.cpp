@@ -1,0 +1,57 @@
+#include "baselines/dor.hpp"
+
+#include <numeric>
+
+namespace a2a {
+
+SingleRoutePlan dor_routes(const DiGraph& g, const std::vector<int>& dims,
+                           bool wraparound) {
+  std::vector<int> d;
+  for (const int x : dims) {
+    if (x > 1) d.push_back(x);
+  }
+  const int n = std::accumulate(d.begin(), d.end(), 1, std::multiplies<>());
+  A2A_REQUIRE(n == g.num_nodes(), "graph is not the torus/mesh of these dims");
+  std::vector<int> stride(d.size());
+  int s = 1;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    stride[i] = s;
+    s *= d[i];
+  }
+  auto coord = [&](NodeId u, std::size_t dim) { return (u / stride[dim]) % d[dim]; };
+
+  SingleRoutePlan plan;
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      Path path;
+      NodeId at = src;
+      for (std::size_t dim = 0; dim < d.size(); ++dim) {
+        while (coord(at, dim) != coord(dst, dim)) {
+          const int size = d[dim];
+          const int cur = coord(at, dim);
+          const int want = coord(dst, dim);
+          int step;  // +1 or -1 along the ring
+          if (wraparound && size > 2) {
+            const int fwd = (want - cur + size) % size;
+            const int bwd = (cur - want + size) % size;
+            step = fwd <= bwd ? +1 : -1;  // tie -> positive direction
+          } else {
+            step = want > cur ? +1 : -1;
+          }
+          const int next_coord = ((cur + step) % size + size) % size;
+          const NodeId next = at + (next_coord - cur) * stride[dim];
+          const EdgeId e = g.find_edge(at, next);
+          A2A_REQUIRE(e >= 0, "DOR hop is not an edge: ", at, "->", next);
+          path.push_back(e);
+          at = next;
+        }
+      }
+      plan.commodities.emplace_back(src, dst);
+      plan.routes.push_back(std::move(path));
+    }
+  }
+  return plan;
+}
+
+}  // namespace a2a

@@ -1,0 +1,22 @@
+// DOR baseline — Dimension-Ordered Routing on meshes/tori (Dally & Seitz
+// [17]). Theoretically bandwidth-optimal for all-to-all on symmetric tori
+// (§5.2) but undefined off the mesh/torus family — exactly the gap the
+// paper's topology-agnostic MCF fills.
+#pragma once
+
+#include <vector>
+
+#include "baselines/sssp.hpp"
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+/// DOR routes on the torus/mesh built by make_torus(dims)/make_mesh(dims).
+/// The graph must be exactly that construction (node ids are mixed-radix
+/// coordinates). Each hop takes the minimal ring direction; ties go to the
+/// positive direction.
+[[nodiscard]] SingleRoutePlan dor_routes(const DiGraph& g,
+                                         const std::vector<int>& dims,
+                                         bool wraparound = true);
+
+}  // namespace a2a

@@ -1,0 +1,43 @@
+#include "baselines/ewsp.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+double ewsp_max_link_load(const DiGraph& g,
+                          const std::vector<NodeId>& terminals) {
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const NodeId s : terminals) {
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      const auto frac = ewsp_edge_fractions(g, s, d);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        load[static_cast<std::size_t>(e)] += frac[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  double worst = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    worst = std::max(worst, load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  return worst;
+}
+
+PathSet ewsp_path_set(const DiGraph& g, const std::vector<NodeId>& terminals,
+                      int per_pair_limit) {
+  PathSet set;
+  for (const NodeId s : terminals) {
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      auto paths = enumerate_shortest_paths(g, s, d, per_pair_limit);
+      A2A_REQUIRE(!paths.empty(), "no shortest path between ", s, " and ", d);
+      set.commodities.emplace_back(s, d);
+      set.candidates.push_back(std::move(paths));
+    }
+  }
+  return set;
+}
+
+}  // namespace a2a

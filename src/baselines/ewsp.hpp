@@ -1,0 +1,24 @@
+// EwSP baseline — Equal-weight Shortest Paths (§5.2): each commodity
+// spreads its demand uniformly over *all* of its shortest paths. Loads are
+// computed exactly by DAG DP (no enumeration); the lowering enumerates a
+// bounded set of routes when an actual schedule is needed.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mcf/fleischer.hpp"
+
+namespace a2a {
+
+/// Max capacity-normalized link load of EwSP routing (exact, O(N^2 * E)).
+[[nodiscard]] double ewsp_max_link_load(const DiGraph& g,
+                                        const std::vector<NodeId>& terminals);
+
+/// EwSP as an explicit weighted path set (shortest paths per pair truncated
+/// at `per_pair_limit`, equal weights) for schedule lowering.
+[[nodiscard]] PathSet ewsp_path_set(const DiGraph& g,
+                                    const std::vector<NodeId>& terminals,
+                                    int per_pair_limit = 32);
+
+}  // namespace a2a

@@ -1,0 +1,151 @@
+#include "baselines/ilp_disjoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/random.hpp"
+
+namespace a2a {
+
+namespace {
+
+/// Lexicographic objective (peak load, number of links at the peak): moving
+/// off a plateau requires shrinking the set of bottleneck links before the
+/// peak itself can drop, so local search needs both components.
+struct LoadProfile {
+  double peak = 0.0;
+  int at_peak = 0;
+  [[nodiscard]] bool better_than(const LoadProfile& other) const {
+    if (peak < other.peak - 1e-12) return true;
+    if (peak > other.peak + 1e-12) return false;
+    return at_peak < other.at_peak;
+  }
+};
+
+LoadProfile plan_profile(const DiGraph& g, const PathSet& set,
+                         const std::vector<int>& choice) {
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t k = 0; k < choice.size(); ++k) {
+    for (const EdgeId e : set.candidates[k][static_cast<std::size_t>(choice[k])]) {
+      load[static_cast<std::size_t>(e)] += 1.0 / g.edge(e).capacity;
+    }
+  }
+  LoadProfile profile;
+  for (const double l : load) profile.peak = std::max(profile.peak, l);
+  for (const double l : load) {
+    if (l > profile.peak - 1e-12) ++profile.at_peak;
+  }
+  return profile;
+}
+
+/// Trivial lower bound: total link-transmissions over total capacity, and
+/// the per-commodity unavoidable 1 unit on some edge.
+double trivial_lower_bound(const DiGraph& g, const PathSet& set) {
+  double total_cap = 0.0;
+  for (const Edge& e : g.edges()) total_cap += e.capacity;
+  double min_hops = 0.0;
+  for (const auto& cands : set.candidates) {
+    std::size_t best = SIZE_MAX;
+    for (const auto& p : cands) best = std::min(best, p.size());
+    min_hops += static_cast<double>(best);
+  }
+  return std::max(min_hops / total_cap, 1.0);
+}
+
+}  // namespace
+
+IlpResult ilp_single_path(const DiGraph& g, const PathSet& set,
+                          const IlpOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const std::size_t K = set.candidates.size();
+  A2A_REQUIRE(K >= 1, "empty candidate set");
+  const double lb =
+      options.lower_bound > 0.0 ? options.lower_bound : trivial_lower_bound(g, set);
+  const double target = lb * (1.0 + options.tolerance) + 1e-9;
+
+  Rng rng(options.seed);
+  std::vector<int> best_choice;
+  double best_load = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> order(K);
+  for (std::size_t i = 0; i < K; ++i) order[i] = i;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    if (elapsed() > options.time_limit_s || best_load <= target) break;
+    if (restart > 0) rng.shuffle(order);
+    // Greedy construction: commodities in order pick the candidate that
+    // minimizes the incremental bottleneck.
+    std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+    std::vector<int> choice(K, 0);
+    for (const std::size_t k : order) {
+      int best_p = 0;
+      double best_metric = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < set.candidates[k].size(); ++p) {
+        double peak = 0.0, sum = 0.0;
+        for (const EdgeId e : set.candidates[k][p]) {
+          const double l =
+              (load[static_cast<std::size_t>(e)] + 1.0) / g.edge(e).capacity;
+          peak = std::max(peak, l);
+          sum += l;
+        }
+        // Lexicographic (peak, sum) so ties pick the globally lighter path.
+        const double metric = peak * 1e6 + sum;
+        if (metric < best_metric) {
+          best_metric = metric;
+          best_p = static_cast<int>(p);
+        }
+      }
+      choice[k] = best_p;
+      for (const EdgeId e : set.candidates[k][static_cast<std::size_t>(best_p)]) {
+        load[static_cast<std::size_t>(e)] += 1.0;
+      }
+    }
+    // Local search: move one commodity to an alternative candidate whenever
+    // it improves the lexicographic (peak, links-at-peak) profile;
+    // randomized sweeps until no improvement.
+    LoadProfile current = plan_profile(g, set, choice);
+    bool improved = true;
+    while (improved && elapsed() < options.time_limit_s &&
+           current.peak > target) {
+      improved = false;
+      for (const std::size_t k : order) {
+        const int old = choice[k];
+        for (std::size_t p = 0; p < set.candidates[k].size(); ++p) {
+          if (static_cast<int>(p) == old) continue;
+          choice[k] = static_cast<int>(p);
+          const LoadProfile trial = plan_profile(g, set, choice);
+          if (trial.better_than(current)) {
+            current = trial;
+            improved = true;
+            break;
+          }
+          choice[k] = old;
+        }
+      }
+    }
+    if (current.peak < best_load) {
+      best_load = current.peak;
+      best_choice = choice;
+    }
+  }
+
+  IlpResult result;
+  result.max_load = best_load;
+  result.proved_optimal = best_load <= target;
+  result.seconds = elapsed();
+  result.plan.commodities = set.commodities;
+  result.plan.routes.reserve(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    result.plan.routes.push_back(
+        set.candidates[k][static_cast<std::size_t>(best_choice[k])]);
+  }
+  return result;
+}
+
+}  // namespace a2a

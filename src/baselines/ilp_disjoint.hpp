@@ -1,0 +1,38 @@
+// ILP-disjoint / ILP-shortest baseline (§5.2/§5.3): pick ONE path per
+// commodity from a candidate set so the maximum link load is minimized.
+//
+// The underlying problem is NP-hard (it is why the baseline "does not scale",
+// Fig. 7). We implement it as branch-and-bound over candidate choices with
+// a greedy incumbent and iterated local search, plus an optimality tolerance
+// (Fig. 9 runs it at 10%): search stops when the incumbent is within
+// tolerance of the LP lower bound. For tiny instances the search is
+// exhaustive and exact, which the tests verify against brute force.
+#pragma once
+
+#include "baselines/sssp.hpp"
+#include "graph/digraph.hpp"
+#include "mcf/fleischer.hpp"
+
+namespace a2a {
+
+struct IlpOptions {
+  double tolerance = 0.0;      ///< accept incumbent within (1+tol)*lower bound.
+  double time_limit_s = 10.0;  ///< wall-clock budget.
+  int restarts = 8;            ///< local-search restarts.
+  std::uint64_t seed = 1;
+  /// Known lower bound on the max load (e.g. 1/F from MCF); 0 = compute a
+  /// trivial one from total demand.
+  double lower_bound = 0.0;
+};
+
+struct IlpResult {
+  SingleRoutePlan plan;
+  double max_load = 0.0;
+  bool proved_optimal = false;  ///< hit the lower bound (within tolerance).
+  double seconds = 0.0;
+};
+
+[[nodiscard]] IlpResult ilp_single_path(const DiGraph& g, const PathSet& candidates,
+                                        const IlpOptions& options = {});
+
+}  // namespace a2a

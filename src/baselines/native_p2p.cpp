@@ -1,0 +1,54 @@
+#include "baselines/native_p2p.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+SingleRoutePlan native_p2p_routes(const DiGraph& g,
+                                  const std::vector<NodeId>& terminals) {
+  SingleRoutePlan plan;
+  for (const NodeId s : terminals) {
+    // Deterministic BFS tree: neighbors explored in ascending node id.
+    const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+    std::vector<EdgeId> parent(n, -1);
+    std::vector<int> dist(n, kUnreachable);
+    std::deque<NodeId> queue{s};
+    dist[static_cast<std::size_t>(s)] = 0;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      std::vector<EdgeId> outs = g.out_edges(u);
+      std::sort(outs.begin(), outs.end(), [&](EdgeId a, EdgeId b) {
+        return g.edge(a).to < g.edge(b).to;
+      });
+      for (const EdgeId e : outs) {
+        const NodeId v = g.edge(e).to;
+        if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          parent[static_cast<std::size_t>(v)] = e;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      A2A_REQUIRE(dist[static_cast<std::size_t>(d)] != kUnreachable,
+                  "terminal ", d, " unreachable from ", s);
+      Path path;
+      for (NodeId at = d; at != s;) {
+        const EdgeId e = parent[static_cast<std::size_t>(at)];
+        path.push_back(e);
+        at = g.edge(e).from;
+      }
+      std::reverse(path.begin(), path.end());
+      plan.commodities.emplace_back(s, d);
+      plan.routes.push_back(std::move(path));
+    }
+  }
+  return plan;
+}
+
+}  // namespace a2a

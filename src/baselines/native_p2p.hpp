@@ -1,0 +1,17 @@
+// Native p2p baseline — what NCCL and OMPI's built-in all-to-all do on the
+// Cerio fabric (§5.2): N-1 point-to-point flows per rank, each on the
+// fabric's own deterministic (single, shortest) route. No load balancing,
+// hence the up-to-2.3x gap to MCF-extP.
+#pragma once
+
+#include "baselines/sssp.hpp"
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+/// Deterministic shortest route per commodity: BFS tree with lowest
+/// next-node-id tie-breaking, mimicking a fabric's static routing tables.
+[[nodiscard]] SingleRoutePlan native_p2p_routes(const DiGraph& g,
+                                                const std::vector<NodeId>& terminals);
+
+}  // namespace a2a

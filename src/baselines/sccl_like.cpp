@@ -1,0 +1,184 @@
+#include "baselines/sccl_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+namespace {
+
+struct SearchContext {
+  const DiGraph& g;
+  std::vector<std::pair<NodeId, NodeId>> shards;  // (src, dst)
+  std::vector<std::vector<int>> dist_to_dst;      // per shard, per node
+  double deadline;
+  long long states = 0;
+  bool timed_out = false;
+  Rng rng{0x5CC1ULL};
+  // state -> smallest depth at which it was reached (dominance pruning).
+  std::unordered_map<std::uint64_t, int> seen;
+};
+
+using State = std::vector<std::uint8_t>;  // current position of each shard (token model)
+
+std::uint64_t hash_state(const State& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t m : s) {
+    h ^= m;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool done(const SearchContext& ctx, const State& s) {
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[k] != static_cast<std::uint8_t>(ctx.shards[k].second)) return false;
+  }
+  return true;
+}
+
+/// Admissible remaining-steps bound: the farthest any undelivered shard
+/// still is from its destination.
+int remaining_lower_bound(const SearchContext& ctx, const State& s) {
+  int worst = 0;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    worst = std::max(worst, ctx.dist_to_dst[k][static_cast<std::size_t>(s[k])]);
+  }
+  return worst;
+}
+
+struct Move {
+  EdgeId edge;
+  int shard;
+};
+
+/// One greedy maximal per-step assignment: every link carries the held,
+/// not-yet-present shard that makes the most progress towards its dst.
+std::vector<Move> greedy_assignment(SearchContext& ctx, const State& s,
+                                    bool randomize) {
+  std::vector<EdgeId> edges(static_cast<std::size_t>(ctx.g.num_edges()));
+  for (EdgeId e = 0; e < ctx.g.num_edges(); ++e) edges[static_cast<std::size_t>(e)] = e;
+  if (randomize) ctx.rng.shuffle(edges);
+  std::vector<Move> moves;
+  std::vector<bool> moved(s.size(), false);
+  for (const EdgeId e : edges) {
+    const Edge& edge = ctx.g.edge(e);
+    int best_shard = -1;
+    int best_gain = 0;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      if (s[k] != static_cast<std::uint8_t>(edge.from)) continue;
+      if (s[k] == static_cast<std::uint8_t>(ctx.shards[k].second)) continue;  // delivered
+      if (moved[k]) continue;                      // one hop per step per shard
+      const auto& dist = ctx.dist_to_dst[k];
+      const int gain = dist[static_cast<std::size_t>(edge.from)] -
+                       dist[static_cast<std::size_t>(edge.to)] + 1;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_shard = static_cast<int>(k);
+      }
+    }
+    if (best_shard >= 0) {
+      moves.push_back(Move{e, best_shard});
+      moved[static_cast<std::size_t>(best_shard)] = true;
+    }
+  }
+  return moves;
+}
+
+bool dfs(SearchContext& ctx, State& s, int depth, int limit, int branches,
+         std::vector<std::vector<Move>>& plan) {
+  if (done(ctx, s)) return true;
+  if (depth + remaining_lower_bound(ctx, s) > limit) return false;
+  if (std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count() > ctx.deadline) {
+    ctx.timed_out = true;
+    return false;
+  }
+  ++ctx.states;
+  const std::uint64_t h = hash_state(s) * 31 + static_cast<std::uint64_t>(depth);
+  auto [it, inserted] = ctx.seen.emplace(h, depth);
+  if (!inserted) return false;
+
+  // Branch over several randomized maximal assignments (the exponential
+  // blow-up the SMT formulation hides lives here).
+  for (int b = 0; b < branches; ++b) {
+    const auto moves = greedy_assignment(ctx, s, b > 0);
+    if (moves.empty()) return false;
+    State next = s;
+    for (const Move& mv : moves) {
+      next[static_cast<std::size_t>(mv.shard)] =
+          static_cast<std::uint8_t>(ctx.g.edge(mv.edge).to);
+    }
+    plan.push_back(moves);
+    if (dfs(ctx, next, depth + 1, limit, branches, plan)) return true;
+    plan.pop_back();
+    if (ctx.timed_out) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScclResult sccl_synthesize(const DiGraph& g, const ScclOptions& options) {
+  A2A_REQUIRE(g.num_nodes() <= 200, "SCCL-like search is limited to 200 nodes");
+  const auto start = std::chrono::steady_clock::now();
+  SearchContext ctx{g, {}, {}, 0.0, 0, false, Rng{0x5CC1ULL}, {}};
+  ctx.deadline = std::chrono::duration<double>(
+                     start.time_since_epoch())
+                     .count() +
+                 options.time_limit_s;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      ctx.shards.emplace_back(s, d);
+      ctx.dist_to_dst.push_back(bfs_distances_to(g, d));
+    }
+  }
+  State initial(ctx.shards.size());
+  for (std::size_t k = 0; k < ctx.shards.size(); ++k) {
+    initial[k] = static_cast<std::uint8_t>(ctx.shards[k].first);
+  }
+
+  ScclResult result;
+  // Iterative deepening on the step budget.
+  for (int limit = diameter(g); limit <= options.max_steps; ++limit) {
+    ctx.seen.clear();
+    std::vector<std::vector<Move>> plan;
+    State s = initial;
+    if (dfs(ctx, s, 0, limit, options.branch_factor, plan)) {
+      LinkSchedule sched;
+      sched.num_nodes = g.num_nodes();
+      sched.num_steps = static_cast<int>(plan.size());
+      for (std::size_t t = 0; t < plan.size(); ++t) {
+        for (const Move& mv : plan[t]) {
+          Chunk c;
+          c.src = ctx.shards[static_cast<std::size_t>(mv.shard)].first;
+          c.dst = ctx.shards[static_cast<std::size_t>(mv.shard)].second;
+          c.lo = Rational(0);
+          c.hi = Rational(1);
+          sched.transfers.push_back(Transfer{c, g.edge(mv.edge).from,
+                                             g.edge(mv.edge).to,
+                                             static_cast<int>(t) + 1});
+        }
+      }
+      result.schedule = std::move(sched);
+      result.steps = static_cast<int>(plan.size());
+      break;
+    }
+    if (ctx.timed_out) break;
+  }
+  result.timed_out = ctx.timed_out;
+  result.states_explored = ctx.states;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace a2a

@@ -1,0 +1,39 @@
+// SCCL-like baseline — exhaustive synthesis of time-stepped schedules
+// (Cai et al. [14] reformulated as explicit search instead of SMT).
+//
+// State: which ranks hold which shards. Per step, every directed link may
+// carry at most one whole shard. The synthesizer searches for the minimum
+// number of steps that completes the all-to-all, with memoization and a
+// wall-clock timeout. Like the SMT original, it is exact-but-exponential:
+// trivial at N=4, hopeless at N=16 (Fig. 7's "unable to generate ... even
+// in 10^4 seconds").
+#pragma once
+
+#include <optional>
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct ScclOptions {
+  double time_limit_s = 5.0;
+  int max_steps = 12;
+  /// Randomized maximal assignments branched per state. Exact minimality
+  /// proofs need wide branching — that is where the exponential cost of
+  /// optimal synthesis lives.
+  int branch_factor = 4;
+};
+
+struct ScclResult {
+  bool timed_out = false;
+  std::optional<LinkSchedule> schedule;
+  int steps = 0;
+  double seconds = 0.0;
+  long long states_explored = 0;
+};
+
+[[nodiscard]] ScclResult sccl_synthesize(const DiGraph& g,
+                                         const ScclOptions& options = {});
+
+}  // namespace a2a

@@ -1,0 +1,45 @@
+#include "baselines/sssp.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+double SingleRoutePlan::max_link_load(const DiGraph& g) const {
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const Path& p : routes) {
+    for (const EdgeId e : p) load[static_cast<std::size_t>(e)] += 1.0;
+  }
+  double worst = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    worst = std::max(worst, load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  return worst;
+}
+
+SingleRoutePlan sssp_routes(const DiGraph& g,
+                            const std::vector<NodeId>& terminals) {
+  SingleRoutePlan plan;
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  // Iterative congestion-aware routing: edge length grows with the load
+  // already placed on it, normalized by capacity.
+  for (const NodeId s : terminals) {
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      std::vector<double> length(static_cast<std::size_t>(g.num_edges()));
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        length[static_cast<std::size_t>(e)] =
+            1.0 + load[static_cast<std::size_t>(e)] / g.edge(e).capacity;
+      }
+      auto path = dijkstra_path(g, s, d, length);
+      A2A_REQUIRE(path.has_value(), "terminal ", d, " unreachable from ", s);
+      for (const EdgeId e : *path) load[static_cast<std::size_t>(e)] += 1.0 / g.edge(e).capacity;
+      plan.commodities.emplace_back(s, d);
+      plan.routes.push_back(std::move(*path));
+    }
+  }
+  return plan;
+}
+
+}  // namespace a2a

@@ -1,0 +1,25 @@
+// SSSP baseline — the congestion-aware single-path heuristic of §5.2
+// (after Domke et al. [19]): commodities are routed one at a time along a
+// shortest path whose edge weights reflect the congestion added by earlier
+// commodities.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/paths.hpp"
+
+namespace a2a {
+
+struct SingleRoutePlan {
+  std::vector<std::pair<NodeId, NodeId>> commodities;
+  std::vector<Path> routes;  ///< one per commodity.
+
+  /// Max capacity-normalized link load for unit demands == all-to-all time.
+  [[nodiscard]] double max_link_load(const DiGraph& g) const;
+};
+
+[[nodiscard]] SingleRoutePlan sssp_routes(const DiGraph& g,
+                                          const std::vector<NodeId>& terminals);
+
+}  // namespace a2a

@@ -1,0 +1,145 @@
+#include "baselines/taccl_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/random.hpp"
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+namespace {
+
+struct Token {
+  NodeId src, dst;
+  int index;    ///< chunk index within the shard.
+  NodeId at;    ///< current position.
+  bool moved_this_step = false;
+};
+
+/// One greedy rollout; returns steps used (INT_MAX if it stalled).
+int rollout(const DiGraph& g, int chunks_per_shard, Rng& rng,
+            const std::vector<std::vector<int>>& dist_to,
+            std::vector<std::vector<std::pair<EdgeId, int>>>* plan) {
+  std::vector<Token> tokens;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      for (int c = 0; c < chunks_per_shard; ++c) {
+        tokens.push_back(Token{s, d, c, s, false});
+      }
+    }
+  }
+  if (plan != nullptr) plan->clear();
+  const int hard_cap = 16 * g.num_nodes() * chunks_per_shard + 64;
+  int remaining = static_cast<int>(tokens.size());
+  for (int step = 1; remaining > 0; ++step) {
+    if (step > hard_cap) return std::numeric_limits<int>::max();
+    std::vector<EdgeId> edges(static_cast<std::size_t>(g.num_edges()));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) edges[static_cast<std::size_t>(e)] = e;
+    rng.shuffle(edges);
+    for (auto& t : tokens) t.moved_this_step = false;
+    std::vector<std::pair<EdgeId, int>> moves;
+    for (const EdgeId e : edges) {
+      const Edge& edge = g.edge(e);
+      // Greedy: among tokens at edge.from, prefer the one whose distance to
+      // destination shrinks the most (progress-first heuristic).
+      int best = -1;
+      int best_gain = std::numeric_limits<int>::min();
+      for (std::size_t k = 0; k < tokens.size(); ++k) {
+        const Token& t = tokens[k];
+        if (t.at != edge.from || t.moved_this_step || t.at == t.dst) continue;
+        const auto& dist = dist_to[static_cast<std::size_t>(t.dst)];
+        const int gain = dist[static_cast<std::size_t>(edge.from)] -
+                         dist[static_cast<std::size_t>(edge.to)];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = static_cast<int>(k);
+        }
+      }
+      // Never move a token strictly away from its destination.
+      if (best < 0 || best_gain < 0) continue;
+      // At equal distance (gain 0), divert only occasionally — this is the
+      // detour exploration TACCL's sketches hint at.
+      if (best_gain == 0 && rng.next_below(4) != 0) continue;
+      Token& t = tokens[static_cast<std::size_t>(best)];
+      t.at = edge.to;
+      t.moved_this_step = true;
+      if (t.at == t.dst) --remaining;
+      moves.emplace_back(e, best);
+    }
+    if (plan != nullptr) plan->push_back(std::move(moves));
+  }
+  return plan != nullptr ? static_cast<int>(plan->size()) : 0;
+}
+
+}  // namespace
+
+TacclResult taccl_synthesize(const DiGraph& g, const TacclOptions& options) {
+  A2A_REQUIRE(options.chunks_per_shard >= 1, "need >= 1 chunk per shard");
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  std::vector<std::vector<int>> dist_to(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId d = 0; d < g.num_nodes(); ++d) {
+    dist_to[static_cast<std::size_t>(d)] = bfs_distances_to(g, d);
+  }
+
+  TacclResult result;
+  Rng rng(options.seed);
+  int best_steps = std::numeric_limits<int>::max();
+  std::vector<std::vector<std::pair<EdgeId, int>>> best_plan;
+  int done_rollouts = 0;
+  for (int r = 0; r < options.rollouts; ++r) {
+    if (elapsed() > options.time_limit_s && done_rollouts > 0) {
+      result.timed_out = true;
+      break;
+    }
+    std::vector<std::vector<std::pair<EdgeId, int>>> plan;
+    const int steps = rollout(g, options.chunks_per_shard, rng, dist_to, &plan);
+    ++done_rollouts;
+    if (steps < best_steps) {
+      best_steps = steps;
+      best_plan = std::move(plan);
+    }
+  }
+  A2A_REQUIRE(best_steps < std::numeric_limits<int>::max(),
+              "TACCL-like synthesis stalled");
+
+  // Rebuild token identities to emit chunk transfers.
+  std::vector<Token> tokens;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      for (int c = 0; c < options.chunks_per_shard; ++c) {
+        tokens.push_back(Token{s, d, c, s, false});
+      }
+    }
+  }
+  LinkSchedule sched;
+  sched.num_nodes = g.num_nodes();
+  sched.num_steps = best_steps;
+  const Rational unit(1, options.chunks_per_shard);
+  for (std::size_t t = 0; t < best_plan.size(); ++t) {
+    for (const auto& [e, k] : best_plan[t]) {
+      Token& tok = tokens[static_cast<std::size_t>(k)];
+      Chunk c;
+      c.src = tok.src;
+      c.dst = tok.dst;
+      c.lo = unit * Rational(tok.index);
+      c.hi = unit * Rational(tok.index + 1);
+      sched.transfers.push_back(
+          Transfer{c, g.edge(e).from, g.edge(e).to, static_cast<int>(t) + 1});
+      tok.at = g.edge(e).to;
+    }
+  }
+  result.schedule = std::move(sched);
+  result.steps = best_steps;
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace a2a

@@ -1,0 +1,35 @@
+// TACCL-like baseline — a sketch-guided heuristic synthesizer (Shah et al.
+// [46]) reimplemented as randomized greedy rollouts with a time budget.
+//
+// Like TACCL it trades optimality for tractability: shards move at whole- or
+// half-shard granularity along greedy per-step link assignments, and the
+// best rollout within the budget wins. It produces *valid* schedules (the
+// tests run them through the validator and the executor) that underperform
+// tsMCF by the ~20-60% margins Fig. 3 reports, and its runtime grows
+// steeply enough with N to reproduce Fig. 7's scaling story.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct TacclOptions {
+  double time_limit_s = 10.0;
+  int rollouts = 16;
+  /// Chunks each shard is split into (TACCL's chunk granularity sketch knob).
+  int chunks_per_shard = 1;
+  std::uint64_t seed = 7;
+};
+
+struct TacclResult {
+  bool timed_out = false;
+  LinkSchedule schedule;
+  int steps = 0;
+  double seconds = 0.0;
+};
+
+[[nodiscard]] TacclResult taccl_synthesize(const DiGraph& g,
+                                           const TacclOptions& options = {});
+
+}  // namespace a2a

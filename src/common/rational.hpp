@@ -1,0 +1,128 @@
+// Exact rational arithmetic used by the schedule compiler.
+//
+// §4 of the paper divides each shard into chunks whose size is the highest
+// common factor of the (fractional) path weights in the MCF solution. Doing
+// that in floating point is fragile, so LP outputs are snapped to rationals
+// with bounded denominators and the HCF is computed exactly.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+/// A normalized rational p/q with q > 0 and gcd(|p|, q) == 1.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t numerator)  // NOLINT implicit: literals
+      : num_(numerator), den_(1) {}
+  Rational(std::int64_t numerator, std::int64_t denominator)
+      : num_(numerator), den_(denominator) {
+    A2A_REQUIRE(denominator != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.num_, a.den_ * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    A2A_REQUIRE(b.num_ != 0, "rational division by zero");
+    return Rational(a.num_ * b.den_, a.den_ * b.num_);
+  }
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b) {
+    return a.num_ * b.den_ <=> b.num_ * a.den_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    os << r.num_;
+    if (r.den_ != 1) os << '/' << r.den_;
+    return os;
+  }
+
+  /// Greatest common divisor of two non-negative rationals:
+  /// gcd(a/b, c/d) = gcd(a·d, c·b) / (b·d).  This is the "highest common
+  /// factor" used for chunk sizing in §4.
+  [[nodiscard]] static Rational gcd(const Rational& a, const Rational& b) {
+    A2A_REQUIRE(a.num_ >= 0 && b.num_ >= 0, "gcd of negative rationals");
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    const std::int64_t n = std::gcd(a.num_ * b.den_, b.num_ * a.den_);
+    return Rational(n, a.den_ * b.den_);
+  }
+
+  /// Best rational approximation of x with denominator at most `max_den`,
+  /// via continued fractions (Stern–Brocot convergents).
+  [[nodiscard]] static Rational approximate(double x,
+                                            std::int64_t max_den = 1'000'000);
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+inline Rational Rational::approximate(double x, std::int64_t max_den) {
+  A2A_REQUIRE(std::isfinite(x), "cannot approximate non-finite value");
+  const bool negative = x < 0;
+  double v = negative ? -x : x;
+  // Continued-fraction expansion, tracking convergents h/k.
+  std::int64_t h0 = 0, h1 = 1, k0 = 1, k1 = 0;
+  double frac = v;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double floor_part = std::floor(frac);
+    if (floor_part > static_cast<double>(INT64_MAX / 2)) break;
+    const auto a = static_cast<std::int64_t>(floor_part);
+    const std::int64_t h2 = a * h1 + h0;
+    const std::int64_t k2 = a * k1 + k0;
+    if (k2 > max_den) break;
+    h0 = h1;
+    h1 = h2;
+    k0 = k1;
+    k1 = k2;
+    const double rem = frac - floor_part;
+    if (rem < 1e-12) break;
+    frac = 1.0 / rem;
+  }
+  if (k1 == 0) return Rational(0);
+  return Rational(negative ? -h1 : h1, k1);
+}
+
+}  // namespace a2a

@@ -1,0 +1,92 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace a2a {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Work-stealing via a shared atomic index keeps task-queue overhead at one
+  // enqueued closure per worker regardless of `count`.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  const std::size_t n_tasks = std::min<std::size_t>(workers_.size(), count);
+  remaining->store(n_tasks);
+
+  auto body = [=, &done_mutex, &done_cv, &done] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        bool expected = false;
+        if (first_error->compare_exchange_strong(expected, true)) {
+          std::lock_guard lock(*error_mutex);
+          *error = std::current_exception();
+        }
+      }
+    }
+    if (remaining->fetch_sub(1) == 1) {
+      std::lock_guard lock(done_mutex);
+      done = true;
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t t = 0; t < n_tasks; ++t) queue_.push(body);
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+}  // namespace a2a

@@ -1,0 +1,56 @@
+// Minimal XML document model, writer, and parser.
+//
+// §4 lowers schedules to MSCCL-style and oneCCL-style XML programs. This is
+// a self-contained subset parser (elements, attributes, text; no DTD/CDATA/
+// namespaces) sufficient for round-tripping our schedule dialects.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;
+
+  XmlNode() = default;
+  explicit XmlNode(std::string tag) : name(std::move(tag)) {}
+
+  XmlNode& add_child(const std::string& tag) {
+    children.push_back(std::make_unique<XmlNode>(tag));
+    return *children.back();
+  }
+
+  void set_attr(const std::string& key, const std::string& value) {
+    attributes[key] = value;
+  }
+  void set_attr(const std::string& key, long long value) {
+    attributes[key] = std::to_string(value);
+  }
+
+  [[nodiscard]] const std::string& attr(const std::string& key) const;
+  [[nodiscard]] long long attr_int(const std::string& key) const;
+  [[nodiscard]] bool has_attr(const std::string& key) const {
+    return attributes.count(key) > 0;
+  }
+
+  /// All direct children with the given tag name.
+  [[nodiscard]] std::vector<const XmlNode*> children_named(
+      const std::string& tag) const;
+};
+
+/// Serializes `root` with 2-space indentation and XML attribute escaping.
+[[nodiscard]] std::string xml_to_string(const XmlNode& root);
+
+/// Parses a document produced by xml_to_string (or hand-written in the same
+/// subset). Throws a2a::InvalidArgument on malformed input.
+[[nodiscard]] std::unique_ptr<XmlNode> xml_parse(const std::string& text);
+
+}  // namespace a2a

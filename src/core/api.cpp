@@ -1,0 +1,115 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/augment.hpp"
+#include "mcf/path_mcf.hpp"
+#include "mcf/timestepped.hpp"
+#include "runtime/vc.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+
+namespace a2a {
+
+long long estimate_path_diversity(const DiGraph& g, int samples) {
+  const int lmax = diameter(g) + 2;
+  constexpr long long kCap = 1'000'000;
+  long long worst = 0;
+  const int n = g.num_nodes();
+  for (int i = 0; i < samples; ++i) {
+    // Deterministic stratified sample of (s, d) pairs.
+    const NodeId s = static_cast<NodeId>((static_cast<long long>(i) * 2654435761LL) % n);
+    const NodeId d = static_cast<NodeId>((static_cast<long long>(i) * 40503LL + n / 2) % n);
+    if (s == d) continue;
+    worst = std::max(worst, count_bounded_paths(g, s, d, lmax, kCap));
+    if (worst >= kCap) break;
+  }
+  return worst;
+}
+
+GeneratedSchedule generate_schedule(const DiGraph& topology,
+                                    const Fabric& fabric,
+                                    const ToolchainOptions& options) {
+  GeneratedSchedule out;
+  const int n = topology.num_nodes();
+  const int degree = topology.max_out_degree();
+  const double nic_bw = degree * fabric.link_GBps;
+
+  if (!fabric.nic_forwarding) {
+    // Link-based branch. Model the host bottleneck if injection < d*b.
+    DiGraph graph = topology;
+    std::vector<NodeId> terminals = all_nodes(topology);
+    if (fabric.injection_GBps < nic_bw) {
+      const AugmentedGraph aug = augment_host_bottleneck(
+          topology, fabric.injection_GBps / fabric.link_GBps);
+      graph = aug.graph;
+      terminals.resize(static_cast<std::size_t>(aug.num_hosts));
+      out.notes += "host-bottleneck augmentation applied; ";
+    }
+    if (n <= options.exact_tsmcf_limit) {
+      const int steps = diameter(graph) + 1;
+      const TsMcfSolution ts = solve_tsmcf_exact(graph, steps, terminals,
+                                                 options.mcf.lp);
+      out.kind = ScheduleKind::kLinkTsMcf;
+      out.link = compile_tsmcf_schedule(graph, ts, options.chunking);
+      out.concurrent_flow = 1.0 / ts.total_utilization;
+      out.notes += "exact tsMCF LP";
+    } else {
+      const LinkFlowSolution flows =
+          solve_decomposed_mcf(graph, terminals, options.mcf);
+      const auto commodity_paths = paths_from_link_flows(graph, flows);
+      UnrollOptions uo;
+      uo.chunking = options.chunking;
+      out.kind = ScheduleKind::kLinkUnrolled;
+      out.link = unroll_rate_schedule(graph, commodity_paths, uo);
+      out.concurrent_flow = flows.concurrent_flow;
+      out.notes += "decomposed MCF + pipelined unroll";
+    }
+    out.terminals = terminals;
+    out.schedule_graph = graph;
+    return out;
+  }
+
+  // Path-based branch.
+  const std::vector<NodeId> terminals = all_nodes(topology);
+  const long long diversity = estimate_path_diversity(topology);
+  PathSchedule schedule;
+  if (diversity <= options.path_diversity_threshold) {
+    const PathSet candidates = build_disjoint_path_set(topology, terminals);
+    if (n <= options.mcf.exact_master_limit) {
+      const PathMcfSolution sol = solve_path_mcf_exact(topology, candidates,
+                                                       options.mcf.lp);
+      schedule = compile_path_schedule(topology, candidates, sol.weights,
+                                       options.chunking);
+      out.concurrent_flow = sol.concurrent_flow;
+    } else {
+      FleischerOptions fo = options.mcf.fptas;
+      fo.epsilon = options.mcf.fptas_epsilon;
+      const PathFlowSolution sol = fleischer_paths(topology, candidates, fo);
+      schedule = compile_path_schedule(topology, candidates, sol.weights,
+                                       options.chunking);
+      out.concurrent_flow = sol.concurrent_flow;
+    }
+    out.kind = ScheduleKind::kPathPMcf;
+    out.notes = "pMCF on link-disjoint candidates";
+  } else {
+    const LinkFlowSolution flows =
+        solve_decomposed_mcf(topology, terminals, options.mcf);
+    const auto commodity_paths = paths_from_link_flows(topology, flows);
+    schedule = compile_path_schedule(topology, commodity_paths, options.chunking);
+    out.concurrent_flow = flows.concurrent_flow;
+    out.kind = ScheduleKind::kPathExtracted;
+    out.notes = "decomposed MCF + widest-path extraction (MCF-extP)";
+  }
+  out.vc_layers = assign_layers(topology, schedule, VcOrdering::kShortestFirst);
+  if (out.vc_layers > options.vc_max_layers_warn) {
+    out.notes += "; WARNING: needs " + std::to_string(out.vc_layers) + " VC layers";
+  }
+  out.path = std::move(schedule);
+  out.terminals = terminals;
+  out.schedule_graph = topology;
+  return out;
+}
+
+}  // namespace a2a

@@ -1,0 +1,21 @@
+#include "graph/augment.hpp"
+
+namespace a2a {
+
+AugmentedGraph augment_host_bottleneck(const DiGraph& nic_graph,
+                                       double host_capacity) {
+  A2A_REQUIRE(host_capacity > 0.0, "host capacity must be positive");
+  AugmentedGraph out;
+  out.num_hosts = nic_graph.num_nodes();
+  out.graph.resize(3 * out.num_hosts);
+  for (NodeId u = 0; u < out.num_hosts; ++u) {
+    out.graph.add_edge(out.nic_in(u), out.host(u), host_capacity);
+    out.graph.add_edge(out.host(u), out.nic_out(u), host_capacity);
+  }
+  for (const Edge& e : nic_graph.edges()) {
+    out.graph.add_edge(out.nic_out(e.from), out.nic_in(e.to), e.capacity);
+  }
+  return out;
+}
+
+}  // namespace a2a

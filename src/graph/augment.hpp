@@ -1,0 +1,36 @@
+// Host-to-NIC bottleneck augmentation — Fig. 2 of the paper.
+//
+// When the host injection bandwidth B_host is lower than the aggregate NIC
+// bandwidth d*b, and the fabric has no NIC forwarding, every byte that
+// transits a node must cross the host<->NIC links. The augmentation splits
+// each node into {host, nic_in, nic_out}:
+//
+//   nic_in(u)  -> host(u)     capacity B_host/b
+//   host(u)    -> nic_out(u)  capacity B_host/b
+//   nic_out(u) -> nic_in(v)   capacity cap(u,v)   for every fabric arc (u,v)
+//
+// The MCF computed between host nodes on this graph yields the optimal
+// bottlenecked throughput (e.g. F = 2/27 on the 3x3x3 torus with 100 Gbps
+// hosts and 6x25 Gbps NICs, §5.2).
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+struct AugmentedGraph {
+  DiGraph graph;      ///< 3N nodes: hosts [0,N), nic_in [N,2N), nic_out [2N,3N).
+  int num_hosts = 0;
+
+  [[nodiscard]] NodeId host(NodeId u) const { return u; }
+  [[nodiscard]] NodeId nic_in(NodeId u) const { return num_hosts + u; }
+  [[nodiscard]] NodeId nic_out(NodeId u) const { return 2 * num_hosts + u; }
+  [[nodiscard]] bool is_host(NodeId n) const { return n < num_hosts; }
+};
+
+/// `host_capacity` is B_host / b, i.e. the host link in units of fabric-link
+/// capacity (4.0 for 100 Gbps hosts on 25 Gbps links).
+[[nodiscard]] AugmentedGraph augment_host_bottleneck(const DiGraph& nic_graph,
+                                                     double host_capacity);
+
+}  // namespace a2a

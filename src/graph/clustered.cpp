@@ -1,0 +1,44 @@
+#include "graph/clustered.hpp"
+
+#include <vector>
+
+namespace a2a {
+
+ClusteredTopology make_clustered(const DiGraph& pod_graph,
+                                 const ClusteredOptions& options) {
+  A2A_REQUIRE(pod_graph.num_nodes() == options.num_pods,
+              "pod graph size mismatch");
+  A2A_REQUIRE(options.accelerators_per_pod >= 1, "empty pods");
+  A2A_REQUIRE(options.internal_capacity > 0.0, "non-positive internal capacity");
+  A2A_REQUIRE(options.external_ports_per_pod >= 1 &&
+                  options.external_ports_per_pod <= options.accelerators_per_pod,
+              "external ports must fit the pod");
+
+  ClusteredTopology out;
+  out.num_pods = options.num_pods;
+  out.accelerators_per_pod = options.accelerators_per_pod;
+  out.graph.resize(options.num_pods * options.accelerators_per_pod);
+
+  // Intra-pod clique at internal capacity.
+  for (int pod = 0; pod < options.num_pods; ++pod) {
+    for (int a = 0; a < options.accelerators_per_pod; ++a) {
+      for (int b = a + 1; b < options.accelerators_per_pod; ++b) {
+        out.graph.add_bidi_edge(out.accelerator(pod, a), out.accelerator(pod, b),
+                                options.internal_capacity);
+      }
+    }
+  }
+  // External arcs: pod-level arcs land on gateway accelerators round-robin.
+  std::vector<int> next_gateway(static_cast<std::size_t>(options.num_pods), 0);
+  for (const Edge& e : pod_graph.edges()) {
+    const int src_gw = next_gateway[static_cast<std::size_t>(e.from)]++ %
+                       options.external_ports_per_pod;
+    const int dst_gw = next_gateway[static_cast<std::size_t>(e.to)]++ %
+                       options.external_ports_per_pod;
+    out.graph.add_edge(out.accelerator(e.from, src_gw),
+                       out.accelerator(e.to, dst_gw), e.capacity);
+  }
+  return out;
+}
+
+}  // namespace a2a

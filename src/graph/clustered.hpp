@@ -1,0 +1,49 @@
+// Clustered / hybrid configurations — the §5.5 extension the paper names as
+// ongoing work: "hybrid clustered settings with possibly severe imbalance
+// between internal link bandwidth within a server, and external bandwidth
+// (e.g., several Tbps internal vs several Gbps external)".
+//
+// A ClusteredTopology models P servers ("pods"), each with G accelerators
+// joined by a high-bandwidth internal fabric (all-to-all, like NVLink), and
+// an external direct-connect topology joining designated gateway
+// accelerators across servers. All of it is one DiGraph, so the whole MCF
+// toolchain (decomposition, extraction, schedule compilation, simulation)
+// applies unchanged — the capacity imbalance does the modelling.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+struct ClusteredOptions {
+  int num_pods = 4;
+  int accelerators_per_pod = 4;
+  /// Internal (intra-pod) link capacity in units of the external link
+  /// bandwidth b; e.g. 24.0 for 600 GB/s NVLink over 25 GB/s externals.
+  double internal_capacity = 24.0;
+  /// External links per pod (each attached to a distinct gateway
+  /// accelerator, round-robin).
+  int external_ports_per_pod = 2;
+};
+
+struct ClusteredTopology {
+  DiGraph graph;
+  int num_pods = 0;
+  int accelerators_per_pod = 0;
+
+  [[nodiscard]] NodeId accelerator(int pod, int index) const {
+    return pod * accelerators_per_pod + index;
+  }
+  [[nodiscard]] int pod_of(NodeId u) const { return u / accelerators_per_pod; }
+};
+
+/// Builds the clustered fabric. The external topology is taken from
+/// `pod_graph`, a directed graph on num_pods nodes (e.g. a ring, torus, or
+/// GenKautz over pods); each pod-level arc becomes an accelerator-level arc
+/// between gateway accelerators (arcs of a pod are spread across its
+/// gateways round-robin). Intra-pod links form a bidirectional clique at
+/// `internal_capacity`.
+[[nodiscard]] ClusteredTopology make_clustered(const DiGraph& pod_graph,
+                                               const ClusteredOptions& options);
+
+}  // namespace a2a

@@ -1,0 +1,81 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace a2a {
+
+EdgeId DiGraph::add_edge(NodeId from, NodeId to, double capacity) {
+  A2A_REQUIRE(from >= 0 && from < num_nodes(), "edge source out of range");
+  A2A_REQUIRE(to >= 0 && to < num_nodes(), "edge target out of range");
+  A2A_REQUIRE(from != to, "self-loops are not representable fabric links");
+  A2A_REQUIRE(capacity >= 0.0, "negative capacity");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, capacity});
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+int DiGraph::max_out_degree() const {
+  int d = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) d = std::max(d, out_degree(u));
+  return d;
+}
+
+bool DiGraph::is_regular(int d) const {
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (out_degree(u) != d || in_degree(u) != d) return false;
+  }
+  return true;
+}
+
+EdgeId DiGraph::find_edge(NodeId u, NodeId v) const {
+  for (const EdgeId e : out_edges(u)) {
+    if (edge(e).to == v) return e;
+  }
+  return -1;
+}
+
+DiGraph DiGraph::without_edges(const std::vector<EdgeId>& removed) const {
+  std::vector<bool> drop(edges_.size(), false);
+  for (const EdgeId e : removed) {
+    A2A_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+    drop[static_cast<std::size_t>(e)] = true;
+  }
+  DiGraph g(num_nodes());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (!drop[e]) g.add_edge(edges_[e].from, edges_[e].to, edges_[e].capacity);
+  }
+  return g;
+}
+
+DiGraph DiGraph::without_nodes(const std::vector<NodeId>& removed,
+                               std::vector<NodeId>* old_to_new) const {
+  std::vector<bool> drop(static_cast<std::size_t>(num_nodes()), false);
+  for (const NodeId u : removed) {
+    A2A_REQUIRE(u >= 0 && u < num_nodes(), "node id out of range");
+    drop[static_cast<std::size_t>(u)] = true;
+  }
+  std::vector<NodeId> remap(static_cast<std::size_t>(num_nodes()), -1);
+  int next = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (!drop[static_cast<std::size_t>(u)]) remap[static_cast<std::size_t>(u)] = next++;
+  }
+  DiGraph g(next);
+  for (const Edge& e : edges_) {
+    const NodeId nf = remap[static_cast<std::size_t>(e.from)];
+    const NodeId nt = remap[static_cast<std::size_t>(e.to)];
+    if (nf >= 0 && nt >= 0) g.add_edge(nf, nt, e.capacity);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  return g;
+}
+
+std::string DiGraph::summary() const {
+  std::ostringstream os;
+  os << "DiGraph(N=" << num_nodes() << ", E=" << num_edges() << ")";
+  return os.str();
+}
+
+}  // namespace a2a

@@ -1,0 +1,103 @@
+// Directed multigraph with per-edge capacities — the network model of §2.2.
+//
+// Nodes are dense integer ids [0, N). Edges are dense integer ids [0, E) and
+// may include parallel edges (generalized Kautz constructions can produce
+// multi-arcs, which simply add capacity). Self-loops are rejected: they can
+// never carry useful all-to-all traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+using NodeId = int;
+using EdgeId = int;
+
+struct Edge {
+  NodeId from = -1;
+  NodeId to = -1;
+  double capacity = 1.0;
+};
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(int num_nodes) { resize(num_nodes); }
+
+  void resize(int num_nodes) {
+    A2A_REQUIRE(num_nodes >= 0, "negative node count");
+    out_.resize(static_cast<std::size_t>(num_nodes));
+    in_.resize(static_cast<std::size_t>(num_nodes));
+  }
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(edges_.size());
+  }
+
+  /// Adds a directed edge and returns its id. Parallel edges are allowed.
+  EdgeId add_edge(NodeId from, NodeId to, double capacity = 1.0);
+
+  /// Adds edges in both directions (for bidirectional fabrics) and returns
+  /// the id of the forward edge.
+  EdgeId add_bidi_edge(NodeId a, NodeId b, double capacity = 1.0) {
+    const EdgeId e = add_edge(a, b, capacity);
+    add_edge(b, a, capacity);
+    return e;
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  void set_capacity(EdgeId e, double capacity) {
+    A2A_REQUIRE(capacity >= 0.0, "negative capacity");
+    edges_[static_cast<std::size_t>(e)].capacity = capacity;
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId u) const {
+    return out_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId u) const {
+    return in_[static_cast<std::size_t>(u)];
+  }
+
+  [[nodiscard]] int out_degree(NodeId u) const {
+    return static_cast<int>(out_edges(u).size());
+  }
+  [[nodiscard]] int in_degree(NodeId u) const {
+    return static_cast<int>(in_edges(u).size());
+  }
+
+  /// Maximum out-degree across nodes — the `d` of a d-regular fabric.
+  [[nodiscard]] int max_out_degree() const;
+  /// True iff every node has out-degree == in-degree == d.
+  [[nodiscard]] bool is_regular(int d) const;
+
+  /// First edge id from u to v, or -1. O(out_degree(u)).
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// Returns the subgraph with the given edges removed (node ids preserved).
+  [[nodiscard]] DiGraph without_edges(const std::vector<EdgeId>& removed) const;
+
+  /// Returns the subgraph with the given nodes (and incident edges) removed.
+  /// Remaining nodes are renumbered densely; `old_to_new` (optional out) maps
+  /// prior ids to new ids or -1.
+  [[nodiscard]] DiGraph without_nodes(const std::vector<NodeId>& removed,
+                                      std::vector<NodeId>* old_to_new = nullptr) const;
+
+  /// Human-readable one-line summary, e.g. "DiGraph(N=27, E=162)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace a2a

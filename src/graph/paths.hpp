@@ -1,0 +1,32 @@
+// Path representation and helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+/// A path is an ordered list of edge ids; consecutive edges must share a
+/// node (checked by path_is_valid).
+using Path = std::vector<EdgeId>;
+
+/// True iff `p` is a contiguous s->t walk with no repeated node (simple).
+[[nodiscard]] bool path_is_valid(const DiGraph& g, const Path& p, NodeId s,
+                                 NodeId t);
+
+/// Node sequence of a path, including endpoints. Empty path -> {s} is not
+/// representable, so the path must be non-empty.
+[[nodiscard]] std::vector<NodeId> path_nodes(const DiGraph& g, const Path& p);
+
+[[nodiscard]] NodeId path_source(const DiGraph& g, const Path& p);
+[[nodiscard]] NodeId path_target(const DiGraph& g, const Path& p);
+
+/// "0>3>7" rendering for logs and XML.
+[[nodiscard]] std::string path_to_string(const DiGraph& g, const Path& p);
+
+/// True iff the two paths share no edge id.
+[[nodiscard]] bool paths_edge_disjoint(const Path& a, const Path& b);
+
+}  // namespace a2a

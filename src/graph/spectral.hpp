@@ -1,0 +1,22 @@
+// Spectral expansion metric.
+//
+// §2.3/§5.4 motivate expander topologies by their spectral properties; we
+// expose the second-largest adjacency eigenvalue of (near-)regular graphs so
+// tests and the topology-designer example can rank candidates by spectral
+// gap d - lambda2.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+/// Second-largest eigenvalue (by magnitude) of the symmetrized adjacency
+/// matrix (A + A^T)/2, estimated by power iteration with deflation of the
+/// Perron vector. `iters` trades accuracy for time.
+[[nodiscard]] double second_eigenvalue(const DiGraph& g, int iters = 500);
+
+/// Spectral gap d - lambda2 where d is the average total degree / 2
+/// direction-adjusted; larger means better expansion.
+[[nodiscard]] double spectral_gap(const DiGraph& g, int iters = 500);
+
+}  // namespace a2a

@@ -1,0 +1,31 @@
+#include "graph/time_expanded.hpp"
+
+namespace a2a {
+
+TimeExpandedGraph make_time_expanded(const DiGraph& g, int steps) {
+  A2A_REQUIRE(steps >= 1, "time expansion needs >= 1 step");
+  TimeExpandedGraph te;
+  te.num_steps = steps;
+  te.base_nodes = g.num_nodes();
+  te.graph.resize((steps + 1) * g.num_nodes());
+  for (int t = 0; t < steps; ++t) {
+    // Fabric arcs active during step t+1.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      te.graph.add_edge(te.node_at(edge.from, t), te.node_at(edge.to, t + 1),
+                        edge.capacity);
+      te.fabric_edge.push_back(e);
+      te.step_of_edge.push_back(t + 1);
+    }
+    // Wait arcs: buffering at the node between steps.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      te.graph.add_edge(te.node_at(u, t), te.node_at(u, t + 1),
+                        TimeExpandedGraph::kWaitCapacity);
+      te.fabric_edge.push_back(-1);
+      te.step_of_edge.push_back(t + 1);
+    }
+  }
+  return te;
+}
+
+}  // namespace a2a

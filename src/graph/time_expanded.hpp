@@ -1,0 +1,44 @@
+// Time-expanded ("stacked") graph of §3.1.3.
+//
+// For the time-stepped MCF, G is replicated at T+1 time indices; each fabric
+// arc (u,v) becomes u_t -> v_{t+1} with capacity cap(u,v), and every node
+// gains a "wait" arc u_t -> u_{t+1} of infinite capacity modelling buffering.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+struct TimeExpandedGraph {
+  DiGraph graph;      ///< (T+1) * N nodes.
+  int num_steps = 0;  ///< T: number of communication steps.
+  int base_nodes = 0; ///< N of the original graph.
+
+  /// Effectively-unbounded capacity for wait arcs.
+  static constexpr double kWaitCapacity = 1e9;
+
+  [[nodiscard]] NodeId node_at(NodeId u, int t) const {
+    return t * base_nodes + u;
+  }
+  [[nodiscard]] NodeId base_node(NodeId expanded) const {
+    return expanded % base_nodes;
+  }
+  [[nodiscard]] int time_of(NodeId expanded) const {
+    return expanded / base_nodes;
+  }
+
+  /// For each expanded edge: the originating fabric edge id, or -1 for wait
+  /// arcs.
+  std::vector<EdgeId> fabric_edge;
+  /// For each expanded edge: the time step (1-based) at which the transfer
+  /// happens, i.e. edge u_t -> v_{t+1} has step t+1.
+  std::vector<int> step_of_edge;
+};
+
+/// Builds the time-expanded graph with `steps` communication steps
+/// (steps >= 1; §3.1.3 requires steps >= diameter(G)).
+[[nodiscard]] TimeExpandedGraph make_time_expanded(const DiGraph& g, int steps);
+
+}  // namespace a2a

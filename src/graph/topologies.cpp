@@ -1,0 +1,326 @@
+#include "graph/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+DiGraph make_ring(int n) {
+  A2A_REQUIRE(n >= 2, "ring needs >= 2 nodes");
+  DiGraph g(n);
+  if (n == 2) {
+    g.add_bidi_edge(0, 1);
+    return g;
+  }
+  for (int i = 0; i < n; ++i) g.add_bidi_edge(i, (i + 1) % n);
+  return g;
+}
+
+DiGraph make_complete(int n) {
+  A2A_REQUIRE(n >= 2, "complete graph needs >= 2 nodes");
+  DiGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+DiGraph make_complete_bipartite(int a, int b) {
+  A2A_REQUIRE(a >= 1 && b >= 1, "bipartite sides must be non-empty");
+  DiGraph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) g.add_bidi_edge(i, a + j);
+  }
+  return g;
+}
+
+DiGraph make_hypercube(int n) {
+  A2A_REQUIRE(n >= 1 && n <= 20, "hypercube dimension out of range");
+  const int size = 1 << n;
+  DiGraph g(size);
+  for (int u = 0; u < size; ++u) {
+    for (int bit = 0; bit < n; ++bit) {
+      const int v = u ^ (1 << bit);
+      if (u < v) g.add_bidi_edge(u, v);
+    }
+  }
+  return g;
+}
+
+DiGraph make_twisted_hypercube(int n) {
+  A2A_REQUIRE(n >= 1 && n <= 20, "twisted hypercube dimension out of range");
+  // The classic twisted cube: start from Q_n and, within the subcube where
+  // the two top bits are considered, exchange one parallel pair of
+  // dimension-0 edges crosswise:
+  //     (100,101),(110,111)  ->  (100,111),(110,101)
+  // For n = 3 this yields the diameter-2 twisted 3-cube of the literature
+  // (average distance 11/7 per node vs Q3's 12/7); higher n apply the same
+  // twist on the top three bits of every aligned subcube via recursive
+  // doubling (TQ_n = TQ_{n-1} x K2 for n > 3).
+  std::vector<std::pair<int, int>> edges;
+  if (n < 3) {
+    const DiGraph q = make_hypercube(n);
+    return q;
+  }
+  // Base: twisted 3-cube.
+  for (int u = 0; u < 8; ++u) {
+    for (int bit = 0; bit < 3; ++bit) {
+      const int v = u ^ (1 << bit);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  auto drop = [&](int a, int b) {
+    for (auto it = edges.begin(); it != edges.end(); ++it) {
+      if ((it->first == a && it->second == b) ||
+          (it->first == b && it->second == a)) {
+        edges.erase(it);
+        return;
+      }
+    }
+    A2A_ASSERT(false, "edge to twist not found");
+  };
+  drop(0b100, 0b101);
+  drop(0b110, 0b111);
+  edges.emplace_back(0b100, 0b111);
+  edges.emplace_back(0b110, 0b101);
+  int size = 8;
+  for (int k = 4; k <= n; ++k) {
+    std::vector<std::pair<int, int>> next = edges;
+    for (const auto& [u, v] : edges) next.emplace_back(u + size, v + size);
+    for (int i = 0; i < size; ++i) next.emplace_back(i, size + i);
+    edges = std::move(next);
+    size *= 2;
+  }
+  DiGraph g(size);
+  for (const auto& [u, v] : edges) g.add_bidi_edge(u, v);
+  return g;
+}
+
+namespace {
+
+DiGraph make_grid(const std::vector<int>& dims, bool wrap) {
+  std::vector<int> d;
+  for (const int x : dims) {
+    A2A_REQUIRE(x >= 1, "grid dimension must be positive");
+    if (x > 1) d.push_back(x);
+  }
+  A2A_REQUIRE(!d.empty(), "grid needs at least one dimension > 1");
+  const int n = std::accumulate(d.begin(), d.end(), 1, std::multiplies<>());
+  // Mixed-radix coordinates: node id = sum coord[i] * stride[i].
+  std::vector<int> stride(d.size());
+  int s = 1;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    stride[i] = s;
+    s *= d[i];
+  }
+  DiGraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const int coord = (u / stride[i]) % d[i];
+      if (coord + 1 < d[i]) {
+        g.add_bidi_edge(u, u + stride[i]);
+      } else if (wrap && d[i] > 2) {
+        // Wraparound closes the ring; for d[i]==2 the +1 edge already
+        // connects the only pair, so adding the wrap edge would double it.
+        g.add_bidi_edge(u, u - (d[i] - 1) * stride[i]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+DiGraph make_mesh(const std::vector<int>& dims) { return make_grid(dims, false); }
+
+DiGraph make_torus(const std::vector<int>& dims) { return make_grid(dims, true); }
+
+DiGraph make_torus_2d(int n) {
+  A2A_REQUIRE(n >= 9, "2D torus needs n >= 9");
+  int best_a = -1;
+  for (int a = static_cast<int>(std::sqrt(static_cast<double>(n))); a >= 3; --a) {
+    if (n % a == 0 && n / a >= 3) {
+      best_a = a;
+      break;
+    }
+  }
+  A2A_REQUIRE(best_a > 0, "n=", n, " has no a*b factorization with a,b >= 3");
+  return make_torus({best_a, n / best_a});
+}
+
+DiGraph make_generalized_kautz(int n, int d) {
+  A2A_REQUIRE(n >= 2 && d >= 1, "GK(d,n) needs n >= 2, d >= 1");
+  A2A_REQUIRE(d < n, "GK(d,n) needs d < n");
+  DiGraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int j = 1; j <= d; ++j) {
+      // Imase–Itoh arc: u -> (-d*u - j) mod n, mapped into [0, n).
+      const long long raw = -(static_cast<long long>(d) * u) - j;
+      const int v = static_cast<int>(((raw % n) + n) % n);
+      if (v != u) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+DiGraph make_de_bruijn(int d, int n) {
+  A2A_REQUIRE(d >= 2 && n >= 1, "de Bruijn needs d >= 2, n >= 1");
+  int size = 1;
+  for (int i = 0; i < n; ++i) {
+    A2A_REQUIRE(size <= (1 << 24) / d, "de Bruijn graph too large");
+    size *= d;
+  }
+  DiGraph g(size);
+  for (int u = 0; u < size; ++u) {
+    for (int j = 0; j < d; ++j) {
+      const int v = (u * d + j) % size;
+      if (v != u) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+DiGraph make_xpander(int d, int lift, Rng& rng) {
+  A2A_REQUIRE(d >= 2, "Xpander needs degree >= 2");
+  A2A_REQUIRE(lift >= 1, "Xpander needs lift >= 1");
+  const int groups = d + 1;
+  const int n = groups * lift;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    DiGraph g(n);
+    for (int a = 0; a < groups; ++a) {
+      for (int b = a + 1; b < groups; ++b) {
+        // Random perfect matching between group a and group b.
+        std::vector<int> perm(static_cast<std::size_t>(lift));
+        std::iota(perm.begin(), perm.end(), 0);
+        rng.shuffle(perm);
+        for (int i = 0; i < lift; ++i) {
+          g.add_bidi_edge(a * lift + i, b * lift + perm[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+    if (is_strongly_connected(g)) return g;
+  }
+  throw InternalError("failed to build connected Xpander");
+}
+
+DiGraph make_dragonfly(int groups, int routers_per_group, int global_links) {
+  A2A_REQUIRE(groups >= 2 && routers_per_group >= 1, "dragonfly too small");
+  A2A_REQUIRE(global_links >= 1, "need >= 1 global link per router");
+  const int n = groups * routers_per_group;
+  DiGraph g(n);
+  auto router = [&](int group, int index) { return group * routers_per_group + index; };
+  // Intra-group cliques.
+  for (int grp = 0; grp < groups; ++grp) {
+    for (int a = 0; a < routers_per_group; ++a) {
+      for (int b = a + 1; b < routers_per_group; ++b) {
+        g.add_bidi_edge(router(grp, a), router(grp, b));
+      }
+    }
+  }
+  // Global links: the canonical palmtree-style assignment — the k-th global
+  // port of router r in group grp connects toward group
+  // (grp + 1 + r*global_links + k) mod groups, landing on a deterministic
+  // router there. Each undirected pair is added once (by the lower group id
+  // ordering of the probe).
+  for (int grp = 0; grp < groups; ++grp) {
+    for (int r = 0; r < routers_per_group; ++r) {
+      for (int k = 0; k < global_links; ++k) {
+        const int offset = 1 + (r * global_links + k) % (groups - 1);
+        const int target_group = (grp + offset) % groups;
+        const int target_router = (r + k) % routers_per_group;
+        const NodeId a = router(grp, r);
+        const NodeId b = router(target_group, target_router);
+        if (a < b && g.find_edge(a, b) < 0) g.add_bidi_edge(a, b);
+      }
+    }
+  }
+  A2A_REQUIRE(is_strongly_connected(g), "dragonfly construction disconnected");
+  return g;
+}
+
+DiGraph make_random_regular(int n, int d, Rng& rng) {
+  A2A_REQUIRE(n > d && d >= 2, "random regular needs n > d >= 2");
+  A2A_REQUIRE((static_cast<long long>(n) * d) % 2 == 0,
+              "n*d must be even for a d-regular graph");
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    // Configuration model: n*d stubs paired uniformly at random.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int u = 0; u < n; ++u) {
+      for (int k = 0; k < d; ++k) stubs.push_back(u);
+    }
+    rng.shuffle(stubs);
+    std::set<std::pair<int, int>> seen;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+      const int a = std::min(stubs[i], stubs[i + 1]);
+      const int b = std::max(stubs[i], stubs[i + 1]);
+      if (a == b || !seen.emplace(a, b).second) simple = false;
+    }
+    if (!simple) continue;
+    DiGraph g(n);
+    for (const auto& [a, b] : seen) g.add_bidi_edge(a, b);
+    if (is_strongly_connected(g)) return g;
+  }
+  throw InternalError("failed to sample a connected simple d-regular graph");
+}
+
+DiGraph puncture_edges(const DiGraph& g, int count, Rng& rng) {
+  A2A_REQUIRE(count >= 0, "negative puncture count");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Collect bidirectional pairs (u < v) once each.
+    std::vector<std::pair<EdgeId, EdgeId>> pairs;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& fw = g.edge(e);
+      if (fw.from < fw.to) {
+        const EdgeId back = g.find_edge(fw.to, fw.from);
+        A2A_REQUIRE(back >= 0, "puncture_edges requires a bidirectional graph");
+        pairs.emplace_back(e, back);
+      }
+    }
+    A2A_REQUIRE(count <= static_cast<int>(pairs.size()), "too many punctures");
+    rng.shuffle(pairs);
+    std::vector<EdgeId> removed;
+    for (int i = 0; i < count; ++i) {
+      removed.push_back(pairs[static_cast<std::size_t>(i)].first);
+      removed.push_back(pairs[static_cast<std::size_t>(i)].second);
+    }
+    DiGraph out = g.without_edges(removed);
+    if (is_strongly_connected(out)) return out;
+  }
+  throw InternalError("could not puncture edges while keeping connectivity");
+}
+
+DiGraph puncture_nodes(const DiGraph& g, int count, Rng& rng) {
+  A2A_REQUIRE(count >= 0 && count < g.num_nodes(), "bad puncture count");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<NodeId> nodes(static_cast<std::size_t>(g.num_nodes()));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    rng.shuffle(nodes);
+    nodes.resize(static_cast<std::size_t>(count));
+    DiGraph out = g.without_nodes(nodes);
+    if (is_strongly_connected(out)) return out;
+  }
+  throw InternalError("could not puncture nodes while keeping connectivity");
+}
+
+DiGraph disable_random_arcs(const DiGraph& g, int count, Rng& rng) {
+  A2A_REQUIRE(count >= 0 && count <= g.num_edges(), "bad disable count");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<EdgeId> ids(static_cast<std::size_t>(g.num_edges()));
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    ids.resize(static_cast<std::size_t>(count));
+    DiGraph out = g.without_edges(ids);
+    if (is_strongly_connected(out)) return out;
+  }
+  throw InternalError("could not disable arcs while keeping connectivity");
+}
+
+}  // namespace a2a

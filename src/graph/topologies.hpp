@@ -1,0 +1,84 @@
+// Topology zoo — §2.2 and §5 of the paper.
+//
+// All builders return DiGraphs with unit capacities (capacity 1 == one link
+// of bandwidth b). Bidirectional fabrics are represented by a pair of
+// opposite arcs. Generalized Kautz graphs are inherently directed.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+/// Bidirectional ring on n >= 2 nodes (degree 2).
+[[nodiscard]] DiGraph make_ring(int n);
+
+/// Complete digraph on n nodes (degree n-1).
+[[nodiscard]] DiGraph make_complete(int n);
+
+/// Complete bipartite graph K_{a,b}, bidirectional. K4,4 is the N=8 degree-4
+/// testbed topology of §5.1.
+[[nodiscard]] DiGraph make_complete_bipartite(int a, int b);
+
+/// n-dimensional hypercube Q_n (N = 2^n, degree n), bidirectional.
+[[nodiscard]] DiGraph make_hypercube(int n);
+
+/// n-dimensional twisted hypercube (N = 2^n, degree n), bidirectional.
+/// Built by recursive doubling where the cross-matching between the two
+/// halves applies a bit-reversal twist; this shortens average distance
+/// relative to Q_n while keeping the degree, matching the role the twisted
+/// hypercube plays in §5.1–5.2.
+[[nodiscard]] DiGraph make_twisted_hypercube(int n);
+
+/// Multi-dimensional mesh (no wraparound), bidirectional.
+[[nodiscard]] DiGraph make_mesh(const std::vector<int>& dims);
+
+/// Multi-dimensional torus, bidirectional. Dimensions of size 2 contribute a
+/// single bidirectional link (not a double link); dimensions of size 1 are
+/// ignored. make_torus({3,3,3}) is the 27-node degree-6 TACC topology.
+[[nodiscard]] DiGraph make_torus(const std::vector<int>& dims);
+
+/// 2D torus with near-square factorization of n (used in Fig. 10 right).
+/// Requires n to be factorable as a*b with a,b >= 3 (or exactly square).
+[[nodiscard]] DiGraph make_torus_2d(int n);
+
+/// Generalized Kautz digraph GK(d, n) of Imase–Itoh: arcs
+/// u -> (-d*u - j) mod n for j = 1..d. Constructible for ANY n and d (§5.4).
+/// Arcs that would be self-loops (which carry no useful traffic) are skipped,
+/// so a few nodes may have out-degree d-1; this matches the effective
+/// capacity of the physical construction.
+[[nodiscard]] DiGraph make_generalized_kautz(int n, int d);
+
+/// de Bruijn digraph on d^n nodes: u -> (u*d + j) mod d^n.
+[[nodiscard]] DiGraph make_de_bruijn(int d, int n);
+
+/// Xpander-style random lift of K_{d+1}: N = (d+1) * lift, degree d,
+/// bidirectional. Each base edge becomes a uniform random perfect matching
+/// between the two lifted groups.
+[[nodiscard]] DiGraph make_xpander(int d, int lift, Rng& rng);
+
+/// Dragonfly [28]: `groups` groups of `routers_per_group` routers; routers
+/// within a group form a clique; each router has `global_links` links to
+/// routers of other groups (spread uniformly, deterministic). Bidirectional.
+[[nodiscard]] DiGraph make_dragonfly(int groups, int routers_per_group,
+                                     int global_links = 1);
+
+/// Random d-regular (simple, connected) graph via the configuration model
+/// with rejection; Jellyfish [48] uses the same family.
+[[nodiscard]] DiGraph make_random_regular(int n, int d, Rng& rng);
+
+/// Removes `count` random bidirectional links (both arcs of a pair) — the
+/// edge-punctured tori of Fig. 5. Keeps the graph strongly connected
+/// (resamples if a removal disconnects it).
+[[nodiscard]] DiGraph puncture_edges(const DiGraph& g, int count, Rng& rng);
+
+/// Removes `count` random nodes — node-punctured tori of Fig. 5. Keeps the
+/// graph strongly connected.
+[[nodiscard]] DiGraph puncture_nodes(const DiGraph& g, int count, Rng& rng);
+
+/// Disables `count` random single directed arcs (Fig. 9's "disabled links").
+[[nodiscard]] DiGraph disable_random_arcs(const DiGraph& g, int count, Rng& rng);
+
+}  // namespace a2a

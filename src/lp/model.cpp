@@ -1,0 +1,44 @@
+#include "lp/model.hpp"
+
+#include <cmath>
+
+namespace a2a {
+
+int LpModel::add_variable(double lower, double upper, double objective) {
+  A2A_REQUIRE(std::isfinite(lower), "variable lower bound must be finite");
+  A2A_REQUIRE(upper >= lower, "variable bounds crossed");
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(objective);
+  columns_.emplace_back();
+  return num_variables() - 1;
+}
+
+int LpModel::add_row(RowType type, double rhs) {
+  A2A_REQUIRE(std::isfinite(rhs), "row rhs must be finite");
+  row_type_.push_back(type);
+  rhs_.push_back(rhs);
+  return num_rows() - 1;
+}
+
+void LpModel::add_coefficient(int row, int var, double value) {
+  A2A_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
+  A2A_REQUIRE(var >= 0 && var < num_variables(), "variable index out of range");
+  if (value == 0.0) return;
+  auto& col = columns_[static_cast<std::size_t>(var)];
+  for (auto& entry : col) {
+    if (entry.row == row) {
+      entry.value += value;
+      return;
+    }
+  }
+  col.push_back(Entry{row, value});
+}
+
+std::size_t LpModel::num_nonzeros() const {
+  std::size_t nnz = 0;
+  for (const auto& col : columns_) nnz += col.size();
+  return nnz;
+}
+
+}  // namespace a2a

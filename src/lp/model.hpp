@@ -1,0 +1,85 @@
+// Linear-program model builder.
+//
+// All MCF formulations in src/mcf build their LPs through this interface;
+// the solver (lp/simplex.hpp) consumes the sparse columns directly, which is
+// the "compact formulation" trick of §3.1.1 — no presolve/canonicalization
+// pass is needed.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class RowType { kLessEqual, kGreaterEqual, kEqual };
+
+class LpModel {
+ public:
+  explicit LpModel(Sense sense = Sense::kMinimize) : sense_(sense) {}
+
+  [[nodiscard]] Sense sense() const { return sense_; }
+
+  /// Adds a variable with bounds [lower, upper] (lower must be finite) and
+  /// the given objective coefficient; returns its index.
+  int add_variable(double lower = 0.0, double upper = kInfinity,
+                   double objective = 0.0);
+
+  /// Adds a constraint row `<type> rhs`; returns its index.
+  int add_row(RowType type, double rhs);
+
+  /// Accumulates `value` into A[row, var].
+  void add_coefficient(int row, int var, double value);
+
+  void set_objective(int var, double value) {
+    objective_[static_cast<std::size_t>(var)] = value;
+  }
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(objective_.size());
+  }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rhs_.size()); }
+
+  [[nodiscard]] double lower(int var) const {
+    return lower_[static_cast<std::size_t>(var)];
+  }
+  [[nodiscard]] double upper(int var) const {
+    return upper_[static_cast<std::size_t>(var)];
+  }
+  [[nodiscard]] double objective(int var) const {
+    return objective_[static_cast<std::size_t>(var)];
+  }
+  [[nodiscard]] RowType row_type(int row) const {
+    return row_type_[static_cast<std::size_t>(row)];
+  }
+  [[nodiscard]] double rhs(int row) const {
+    return rhs_[static_cast<std::size_t>(row)];
+  }
+
+  struct Entry {
+    int row;
+    double value;
+  };
+  /// Sparse column of a variable (entries in insertion order; duplicate rows
+  /// already merged).
+  [[nodiscard]] const std::vector<Entry>& column(int var) const {
+    return columns_[static_cast<std::size_t>(var)];
+  }
+
+  /// Total structural nonzeros.
+  [[nodiscard]] std::size_t num_nonzeros() const;
+
+ private:
+  Sense sense_;
+  std::vector<double> lower_, upper_, objective_;
+  std::vector<RowType> row_type_;
+  std::vector<double> rhs_;
+  std::vector<std::vector<Entry>> columns_;
+};
+
+}  // namespace a2a

@@ -1,0 +1,231 @@
+#include "mcf/concurrent_flow.hpp"
+
+#include <algorithm>
+
+namespace a2a {
+
+TerminalPairs::TerminalPairs(std::vector<NodeId> terminals)
+    : terminals_(std::move(terminals)) {}
+
+int TerminalPairs::index(int si, int di) const {
+  A2A_REQUIRE(si != di, "commodity with equal endpoints");
+  A2A_REQUIRE(si >= 0 && si < num_terminals() && di >= 0 && di < num_terminals(),
+              "terminal index out of range");
+  return si * (num_terminals() - 1) + (di > si ? di - 1 : di);
+}
+
+std::pair<int, int> TerminalPairs::terminal_indices(int idx) const {
+  A2A_REQUIRE(idx >= 0 && idx < count(), "commodity index out of range");
+  const int si = idx / (num_terminals() - 1);
+  int di = idx % (num_terminals() - 1);
+  if (di >= si) ++di;
+  return {si, di};
+}
+
+std::pair<NodeId, NodeId> TerminalPairs::nodes(int idx) const {
+  const auto [si, di] = terminal_indices(idx);
+  return {terminals_[static_cast<std::size_t>(si)],
+          terminals_[static_cast<std::size_t>(di)]};
+}
+
+std::vector<double> LinkFlowSolution::total_edge_flow(const DiGraph& g) const {
+  std::vector<double> total(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const auto& commodity : per_commodity) {
+    for (std::size_t e = 0; e < total.size(); ++e) total[e] += commodity[e];
+  }
+  return total;
+}
+
+std::vector<NodeId> all_nodes(const DiGraph& g) {
+  std::vector<NodeId> nodes(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) nodes[static_cast<std::size_t>(u)] = u;
+  return nodes;
+}
+
+LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
+                                      const std::vector<NodeId>& terminals,
+                                      const SimplexOptions& lp) {
+  A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
+  TerminalPairs pairs(terminals);
+  const int E = g.num_edges();
+  const int K = pairs.count();
+  LpModel model(Sense::kMaximize);
+  // Variables: f[(s,d), e] laid out commodity-major, then F last. Flow of a
+  // commodity leaving its sink or entering its source is useless circulation
+  // and is fixed to zero via bounds.
+  for (int k = 0; k < K; ++k) {
+    const auto [s, d] = pairs.nodes(k);
+    for (int e = 0; e < E; ++e) {
+      const Edge& edge = g.edge(e);
+      const bool useless = edge.from == d || edge.to == s;
+      model.add_variable(0.0, useless ? 0.0 : kInfinity, 0.0);
+    }
+  }
+  const int f_var = model.add_variable(0.0, kInfinity, 1.0);
+  auto var = [&](int k, int e) { return k * E + e; };
+
+  // (2) capacity per edge.
+  for (int e = 0; e < E; ++e) {
+    const int row = model.add_row(RowType::kLessEqual, g.edge(e).capacity);
+    for (int k = 0; k < K; ++k) model.add_coefficient(row, var(k, e), 1.0);
+  }
+  // (3) relaxed conservation at every u not in {s, d}:  out - in <= 0.
+  for (int k = 0; k < K; ++k) {
+    const auto [s, d] = pairs.nodes(k);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == s || u == d) continue;
+      const int row = model.add_row(RowType::kLessEqual, 0.0);
+      for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(k, e), 1.0);
+      for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(k, e), -1.0);
+    }
+    // (4) demand at the sink: in(d) - F >= 0.
+    const int demand = model.add_row(RowType::kGreaterEqual, 0.0);
+    for (const EdgeId e : g.in_edges(d)) model.add_coefficient(demand, var(k, e), 1.0);
+    model.add_coefficient(demand, f_var, -1.0);
+  }
+
+  const LpSolution sol = solve_lp(model, lp);
+  if (!sol.optimal()) {
+    throw SolverError("link MCF LP failed: " + to_string(sol.status));
+  }
+  LinkFlowSolution out;
+  out.pairs = pairs;
+  out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
+  out.per_commodity.assign(static_cast<std::size_t>(K),
+                           std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  for (int k = 0; k < K; ++k) {
+    for (int e = 0; e < E; ++e) {
+      const double v = sol.values[static_cast<std::size_t>(var(k, e))];
+      out.per_commodity[static_cast<std::size_t>(k)][static_cast<std::size_t>(e)] =
+          v > 1e-10 ? v : 0.0;
+    }
+  }
+  out.lp_iterations = sol.iterations;
+  out.solve_seconds = sol.solve_seconds;
+  return out;
+}
+
+GroupedFlowSolution solve_master_lp(const DiGraph& g,
+                                    const std::vector<NodeId>& terminals,
+                                    const SimplexOptions& lp) {
+  A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
+  const int E = g.num_edges();
+  const int S = static_cast<int>(terminals.size());
+  std::vector<bool> is_terminal(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const NodeId t : terminals) is_terminal[static_cast<std::size_t>(t)] = true;
+
+  LpModel model(Sense::kMaximize);
+  // Grouped flow back into its own source is useless; fix it to zero.
+  for (int s = 0; s < S; ++s) {
+    const NodeId src = terminals[static_cast<std::size_t>(s)];
+    for (int e = 0; e < E; ++e) {
+      const bool useless = g.edge(e).to == src;
+      model.add_variable(0.0, useless ? 0.0 : kInfinity, 0.0);
+    }
+  }
+  const int f_var = model.add_variable(0.0, kInfinity, 1.0);
+  auto var = [&](int s, int e) { return s * E + e; };
+
+  // (7) capacity per edge.
+  for (int e = 0; e < E; ++e) {
+    const int row = model.add_row(RowType::kLessEqual, g.edge(e).capacity);
+    for (int s = 0; s < S; ++s) model.add_coefficient(row, var(s, e), 1.0);
+  }
+  // (8) grouped conservation: at terminal u != s, F + out <= in; at
+  // non-terminal forwarders, out <= in.
+  for (int s = 0; s < S; ++s) {
+    const NodeId src = terminals[static_cast<std::size_t>(s)];
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == src) continue;
+      const int row = model.add_row(RowType::kLessEqual, 0.0);
+      for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(s, e), 1.0);
+      for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(s, e), -1.0);
+      if (is_terminal[static_cast<std::size_t>(u)]) {
+        model.add_coefficient(row, f_var, 1.0);
+      }
+    }
+  }
+
+  const LpSolution sol = solve_lp(model, lp);
+  if (!sol.optimal()) {
+    throw SolverError("master MCF LP failed: " + to_string(sol.status));
+  }
+  GroupedFlowSolution out;
+  out.terminals = terminals;
+  out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
+  out.per_source.assign(static_cast<std::size_t>(S),
+                        std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  for (int s = 0; s < S; ++s) {
+    for (int e = 0; e < E; ++e) {
+      const double v = sol.values[static_cast<std::size_t>(var(s, e))];
+      out.per_source[static_cast<std::size_t>(s)][static_cast<std::size_t>(e)] =
+          v > 1e-10 ? v : 0.0;
+    }
+  }
+  out.lp_iterations = sol.iterations;
+  out.solve_seconds = sol.solve_seconds;
+  return out;
+}
+
+std::vector<std::vector<double>> solve_child_lp(
+    const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
+    const std::vector<double>& source_flow, double F,
+    const SimplexOptions& lp) {
+  const int E = g.num_edges();
+  const int S = static_cast<int>(terminals.size());
+  A2A_REQUIRE(source_index >= 0 && source_index < S, "source index out of range");
+  A2A_REQUIRE(source_flow.size() == static_cast<std::size_t>(E),
+              "source flow vector size mismatch");
+  const NodeId src = terminals[static_cast<std::size_t>(source_index)];
+
+  LpModel model(Sense::kMinimize);
+  // Variables f[(s,d), e] for d over the other terminals; objective (10)
+  // minimizes total flow so the solver prunes slack circulation itself.
+  std::vector<int> dest_of_slot;
+  for (int d = 0; d < S; ++d) {
+    if (d == source_index) continue;
+    dest_of_slot.push_back(d);
+  }
+  const int D = static_cast<int>(dest_of_slot.size());
+  for (int slot = 0; slot < D; ++slot) {
+    for (int e = 0; e < E; ++e) model.add_variable(0.0, kInfinity, 1.0);
+  }
+  auto var = [&](int slot, int e) { return slot * E + e; };
+
+  // (11) per-edge cap = master's per-source flow.
+  for (int e = 0; e < E; ++e) {
+    const int row = model.add_row(
+        RowType::kLessEqual, source_flow[static_cast<std::size_t>(e)] + 1e-9);
+    for (int slot = 0; slot < D; ++slot) model.add_coefficient(row, var(slot, e), 1.0);
+  }
+  for (int slot = 0; slot < D; ++slot) {
+    const NodeId dst = terminals[static_cast<std::size_t>(dest_of_slot[static_cast<std::size_t>(slot)])];
+    // (12) conservation at u not in {src, dst}.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == src || u == dst) continue;
+      const int row = model.add_row(RowType::kLessEqual, 0.0);
+      for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(slot, e), 1.0);
+      for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(slot, e), -1.0);
+    }
+    // (13) demand: in(dst) >= F (tiny slack for LP round-off).
+    const int demand = model.add_row(RowType::kGreaterEqual, F - 1e-9);
+    for (const EdgeId e : g.in_edges(dst)) model.add_coefficient(demand, var(slot, e), 1.0);
+  }
+
+  const LpSolution sol = solve_lp(model, lp);
+  if (!sol.optimal()) {
+    throw SolverError("child MCF LP failed: " + to_string(sol.status));
+  }
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(S));
+  for (int slot = 0; slot < D; ++slot) {
+    auto& flows = out[static_cast<std::size_t>(dest_of_slot[static_cast<std::size_t>(slot)])];
+    flows.assign(static_cast<std::size_t>(E), 0.0);
+    for (int e = 0; e < E; ++e) {
+      const double v = sol.values[static_cast<std::size_t>(var(slot, e))];
+      flows[static_cast<std::size_t>(e)] = v > 1e-10 ? v : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace a2a

@@ -1,0 +1,90 @@
+// Link-variable max-concurrent multi-commodity flow — §3.1.1 of the paper.
+//
+// The all-to-all collective on G is modelled as an MCF with one unit-demand
+// commodity per ordered terminal pair; the optimal concurrent rate F gives
+// the throughput upper bound (N-1)·F·b and 1/F is the "all-to-all time"
+// plotted throughout §5.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "lp/simplex.hpp"
+
+namespace a2a {
+
+/// Ordered pairs over a terminal set. On plain fabrics the terminals are all
+/// nodes; on Fig. 2-augmented graphs they are the host nodes only.
+class TerminalPairs {
+ public:
+  explicit TerminalPairs(std::vector<NodeId> terminals);
+
+  [[nodiscard]] int num_terminals() const {
+    return static_cast<int>(terminals_.size());
+  }
+  [[nodiscard]] int count() const {
+    return num_terminals() * (num_terminals() - 1);
+  }
+  /// Index of the commodity (terminals[si] -> terminals[di]), si != di.
+  [[nodiscard]] int index(int si, int di) const;
+  /// Inverse of index(): terminal indices of commodity `idx`.
+  [[nodiscard]] std::pair<int, int> terminal_indices(int idx) const;
+  /// Node ids of commodity `idx`.
+  [[nodiscard]] std::pair<NodeId, NodeId> nodes(int idx) const;
+
+  [[nodiscard]] const std::vector<NodeId>& terminals() const {
+    return terminals_;
+  }
+
+ private:
+  std::vector<NodeId> terminals_;
+};
+
+/// Per-commodity link flows at a common concurrent rate F.
+struct LinkFlowSolution {
+  double concurrent_flow = 0.0;  ///< F
+  TerminalPairs pairs{std::vector<NodeId>{}};
+  /// per_commodity[pair index][edge id] — flow of that commodity on the edge.
+  std::vector<std::vector<double>> per_commodity;
+  long long lp_iterations = 0;
+  double solve_seconds = 0.0;
+
+  /// Total flow on each edge (sum over commodities).
+  [[nodiscard]] std::vector<double> total_edge_flow(const DiGraph& g) const;
+};
+
+/// Aggregate per-source flows (the master solution of §3.1.2).
+struct GroupedFlowSolution {
+  double concurrent_flow = 0.0;  ///< F
+  std::vector<NodeId> terminals;
+  /// per_source[terminal index][edge id]
+  std::vector<std::vector<double>> per_source;
+  double solve_seconds = 0.0;
+  long long lp_iterations = 0;
+};
+
+/// All nodes of g as the terminal set.
+[[nodiscard]] std::vector<NodeId> all_nodes(const DiGraph& g);
+
+/// Exact link-based MCF (eqs. 1–5). Tractable only at small N (the point of
+/// Fig. 7); throws SolverError if the LP fails numerically.
+[[nodiscard]] LinkFlowSolution solve_link_mcf_exact(
+    const DiGraph& g, const std::vector<NodeId>& terminals,
+    const SimplexOptions& lp = {});
+
+/// Exact master LP (eqs. 6–9): grouped source-rooted commodities.
+[[nodiscard]] GroupedFlowSolution solve_master_lp(
+    const DiGraph& g, const std::vector<NodeId>& terminals,
+    const SimplexOptions& lp = {});
+
+/// Exact child LP (eqs. 10–14) for one source: splits the master's
+/// per-source aggregate flow into per-destination flows at rate F.
+/// Returns flows indexed [destination terminal index][edge]; the source's
+/// own slot is left empty.
+[[nodiscard]] std::vector<std::vector<double>> solve_child_lp(
+    const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
+    const std::vector<double>& source_flow, double F,
+    const SimplexOptions& lp = {});
+
+}  // namespace a2a

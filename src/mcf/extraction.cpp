@@ -1,0 +1,247 @@
+#include "mcf/extraction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+namespace {
+
+/// Finds one directed cycle in the positive-flow subgraph via iterative DFS.
+/// Returns the cycle's edges, or empty if the subgraph is acyclic.
+std::vector<EdgeId> find_positive_cycle(const DiGraph& g,
+                                        const std::vector<double>& flow) {
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  // 0 = white, 1 = on stack, 2 = done.
+  std::vector<unsigned char> color(n, 0);
+  std::vector<EdgeId> entered_by(n, -1);
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    // Iterative DFS with explicit stack of (node, next-out-index).
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [u, idx] = stack.back();
+      const auto& outs = g.out_edges(u);
+      bool advanced = false;
+      while (idx < outs.size()) {
+        const EdgeId e = outs[idx++];
+        if (flow[static_cast<std::size_t>(e)] <= 0.0) continue;
+        const NodeId v = g.edge(e).to;
+        if (color[static_cast<std::size_t>(v)] == 1) {
+          // Back edge: recover the cycle v -> ... -> u -> v.
+          std::vector<EdgeId> cycle{e};
+          for (NodeId at = u; at != v;) {
+            const EdgeId pe = entered_by[static_cast<std::size_t>(at)];
+            cycle.push_back(pe);
+            at = g.edge(pe).from;
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(v)] == 0) {
+          color[static_cast<std::size_t>(v)] = 1;
+          entered_by[static_cast<std::size_t>(v)] = e;
+          stack.emplace_back(v, 0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced && idx >= outs.size()) {
+        color[static_cast<std::size_t>(u)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void cancel_cycles(const DiGraph& g, std::vector<double>& flow, double tol) {
+  A2A_REQUIRE(flow.size() == static_cast<std::size_t>(g.num_edges()),
+              "flow vector size mismatch");
+  for (auto& f : flow) {
+    if (f < tol) f = 0.0;
+  }
+  for (;;) {
+    const auto cycle = find_positive_cycle(g, flow);
+    if (cycle.empty()) return;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (const EdgeId e : cycle) {
+      bottleneck = std::min(bottleneck, flow[static_cast<std::size_t>(e)]);
+    }
+    for (const EdgeId e : cycle) {
+      auto& f = flow[static_cast<std::size_t>(e)];
+      f -= bottleneck;
+      if (f < tol) f = 0.0;
+    }
+  }
+}
+
+std::vector<WeightedPath> extract_widest_paths(const DiGraph& g, NodeId s,
+                                               NodeId t,
+                                               std::vector<double> flow,
+                                               double target, double tol) {
+  cancel_cycles(g, flow, tol);
+  std::vector<WeightedPath> out;
+  double extracted = 0.0;
+  for (;;) {
+    if (target >= 0.0 && extracted >= target - tol) break;
+    const auto widest = widest_path(g, s, t, flow, tol);
+    if (!widest) break;
+    double rate = widest->bottleneck;
+    if (target >= 0.0) rate = std::min(rate, target - extracted);
+    for (const EdgeId e : widest->path) {
+      auto& f = flow[static_cast<std::size_t>(e)];
+      f -= rate;
+      if (f < tol) f = 0.0;
+    }
+    out.push_back(WeightedPath{widest->path, rate});
+    extracted += rate;
+  }
+  return out;
+}
+
+std::vector<double> prune_to_exact_flow(const DiGraph& g, NodeId s, NodeId t,
+                                        const std::vector<double>& flow,
+                                        double amount) {
+  const auto paths = extract_widest_paths(g, s, t, flow, amount);
+  double total = 0.0;
+  for (const auto& wp : paths) total += wp.weight;
+  A2A_REQUIRE(total >= amount - 1e-6,
+              "flow does not carry the requested amount: ", total, " < ", amount);
+  std::vector<double> pruned(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const auto& wp : paths) {
+    for (const EdgeId e : wp.path) pruned[static_cast<std::size_t>(e)] += wp.weight;
+  }
+  return pruned;
+}
+
+MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
+                                const std::vector<NodeId>& sinks,
+                                const std::vector<double>& cap,
+                                double sink_cap, double tol) {
+  A2A_REQUIRE(cap.size() == static_cast<std::size_t>(g.num_edges()),
+              "capacity vector size mismatch");
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+
+  // Max-flow by widest augmenting paths on the residual graph. Residual
+  // widths: forward = cap - f, backward = f.
+  std::vector<double> f(m, 0.0);
+  std::vector<double> sink_remaining(sinks.size(), sink_cap);
+  std::vector<int> sink_index(n, -1);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    sink_index[static_cast<std::size_t>(sinks[i])] = static_cast<int>(i);
+  }
+
+  for (;;) {
+    // Single-source widest distances over the residual graph; edges are
+    // (edge id, forward?) pairs.
+    std::vector<double> width(n, 0.0);
+    std::vector<std::pair<EdgeId, bool>> parent(n, {-1, true});
+    std::vector<bool> done(n, false);
+    width[static_cast<std::size_t>(s)] = std::numeric_limits<double>::infinity();
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item> heap;
+    heap.emplace(width[static_cast<std::size_t>(s)], s);
+    while (!heap.empty()) {
+      const auto [w, u] = heap.top();
+      heap.pop();
+      if (done[static_cast<std::size_t>(u)]) continue;
+      done[static_cast<std::size_t>(u)] = true;
+      auto relax = [&](NodeId v, double res, EdgeId e, bool forward) {
+        if (res <= tol) return;
+        const double cand = std::min(w, res);
+        if (cand > width[static_cast<std::size_t>(v)]) {
+          width[static_cast<std::size_t>(v)] = cand;
+          parent[static_cast<std::size_t>(v)] = {e, forward};
+          heap.emplace(cand, v);
+        }
+      };
+      for (const EdgeId e : g.out_edges(u)) {
+        relax(g.edge(e).to, cap[static_cast<std::size_t>(e)] - f[static_cast<std::size_t>(e)], e, true);
+      }
+      for (const EdgeId e : g.in_edges(u)) {
+        relax(g.edge(e).from, f[static_cast<std::size_t>(e)], e, false);
+      }
+    }
+    // Pick the sink with the largest augmentable amount.
+    int best_sink = -1;
+    double best_amount = tol;
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const double amount =
+          std::min(width[static_cast<std::size_t>(sinks[i])], sink_remaining[i]);
+      if (amount > best_amount) {
+        best_amount = amount;
+        best_sink = static_cast<int>(i);
+      }
+    }
+    if (best_sink < 0) break;
+    // Augment along the recorded parents.
+    const NodeId d = sinks[static_cast<std::size_t>(best_sink)];
+    for (NodeId at = d; at != s;) {
+      const auto [e, forward] = parent[static_cast<std::size_t>(at)];
+      A2A_ASSERT(e >= 0, "augmenting path backtrack broke");
+      if (forward) {
+        f[static_cast<std::size_t>(e)] += best_amount;
+        at = g.edge(e).from;
+      } else {
+        f[static_cast<std::size_t>(e)] -= best_amount;
+        at = g.edge(e).to;
+      }
+    }
+    sink_remaining[static_cast<std::size_t>(best_sink)] -= best_amount;
+  }
+
+  cancel_cycles(g, f, tol);
+
+  MultiSinkFlow out;
+  out.delivered.assign(sinks.size(), 0.0);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    out.delivered[i] = sink_cap - sink_remaining[i];
+  }
+  out.per_sink_flow.assign(sinks.size(), std::vector<double>(m, 0.0));
+
+  // Flow decomposition: repeatedly trace backward from a sink with remaining
+  // demand along positive-flow edges to s; each subtraction preserves
+  // conservation, so progress is guaranteed on the acyclic support.
+  std::vector<double> remaining_demand = out.delivered;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    while (remaining_demand[i] > tol) {
+      Path reversed;
+      NodeId at = sinks[i];
+      double bottleneck = remaining_demand[i];
+      while (at != s) {
+        EdgeId pick = -1;
+        double best = 0.0;
+        for (const EdgeId e : g.in_edges(at)) {
+          if (f[static_cast<std::size_t>(e)] > best) {
+            best = f[static_cast<std::size_t>(e)];
+            pick = e;
+          }
+        }
+        A2A_ASSERT(pick >= 0, "flow decomposition stuck at node ", at,
+                   " for sink ", sinks[i]);
+        reversed.push_back(pick);
+        bottleneck = std::min(bottleneck, best);
+        at = g.edge(pick).from;
+      }
+      for (const EdgeId e : reversed) {
+        auto& fe = f[static_cast<std::size_t>(e)];
+        fe -= bottleneck;
+        if (fe < tol) fe = 0.0;
+        out.per_sink_flow[i][static_cast<std::size_t>(e)] += bottleneck;
+      }
+      remaining_demand[i] -= bottleneck;
+      if (remaining_demand[i] < tol) remaining_demand[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace a2a

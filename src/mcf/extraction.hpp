@@ -1,0 +1,60 @@
+// Widest-path extraction (MCF-extP, §3.2.1) and flow post-processing.
+//
+// The widest-path extractor turns per-commodity link flows into weighted
+// source routes; the same machinery doubles as the post-processing step of
+// §3.1.1 (restoring exact flow conservation) and as the combinatorial child
+// solver of the decomposed MCF.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/paths.hpp"
+
+namespace a2a {
+
+/// One weighted route of a commodity.
+struct WeightedPath {
+  Path path;
+  double weight = 0.0;
+};
+
+/// Removes directed cycles from a single-commodity edge-flow vector in place
+/// (repeatedly finds a positive-flow cycle and subtracts its bottleneck).
+/// Flow values below `tol` are zeroed first.
+void cancel_cycles(const DiGraph& g, std::vector<double>& flow,
+                   double tol = 1e-9);
+
+/// Greedy widest-path extraction (§3.2.1): repeatedly take the maximum-
+/// bottleneck s->t path in the positive-flow subgraph, record it, subtract
+/// its rate, until no positive path remains or `target` total weight has
+/// been extracted (target < 0 means extract everything).
+[[nodiscard]] std::vector<WeightedPath> extract_widest_paths(
+    const DiGraph& g, NodeId s, NodeId t, std::vector<double> flow,
+    double target = -1.0, double tol = 1e-9);
+
+/// §3.1.1 post-processing: prunes a per-commodity flow so conservation holds
+/// exactly and exactly `amount` is delivered from s to t (extracts paths and
+/// re-sums them). Returns the pruned edge-flow vector.
+[[nodiscard]] std::vector<double> prune_to_exact_flow(const DiGraph& g,
+                                                      NodeId s, NodeId t,
+                                                      const std::vector<double>& flow,
+                                                      double amount);
+
+/// Max-flow from s to each of `sinks` (capacity `sink_cap` per sink) within
+/// per-edge capacities `cap`, via widest-path augmentation. Returns the
+/// per-sink delivered amounts and, through `edge_flow_out` (optional), the
+/// per-(sink, edge) flows. This is the combinatorial child solver: with
+/// cap = the master's per-source flow and sink_cap = F it splits the
+/// aggregate into per-destination flows without an LP.
+struct MultiSinkFlow {
+  std::vector<double> delivered;                    ///< per sink.
+  std::vector<std::vector<double>> per_sink_flow;   ///< [sink][edge].
+};
+[[nodiscard]] MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
+                                              const std::vector<NodeId>& sinks,
+                                              const std::vector<double>& cap,
+                                              double sink_cap,
+                                              double tol = 1e-9);
+
+}  // namespace a2a

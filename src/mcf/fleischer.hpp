@@ -1,0 +1,53 @@
+// Fleischer / Garg–Könemann style FPTAS for maximum concurrent flow.
+//
+// Two roles in this repository (mirroring §2.3 and §5.3):
+//   1. It reimplements the Karakostas/Fleischer FPTAS baseline of Fig. 7.
+//   2. At large N — beyond the dense simplex — it serves as the approximate
+//      master solver of the decomposed MCF pipeline (at tight epsilon), with
+//      the combinatorial child splitter recovering per-commodity flows.
+//
+// Grouped mode exploits the paper's source-grouping insight directly: a
+// phase routes one unit of demand from a source to *every* sink along the
+// current shortest-path tree, so a phase costs one Dijkstra per source
+// instead of one per commodity.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/paths.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+
+struct FleischerOptions {
+  double epsilon = 0.05;       ///< target (1-O(eps)) approximation.
+  long long max_phases = 200'000;
+};
+
+/// Grouped-source concurrent flow: demands are 1 from every terminal to
+/// every other terminal; the result reports feasible per-source flows after
+/// congestion rescaling, and F = achieved common rate.
+[[nodiscard]] GroupedFlowSolution fleischer_grouped(
+    const DiGraph& g, const std::vector<NodeId>& terminals,
+    const FleischerOptions& options = {});
+
+/// Candidate path sets for the restricted-path variant (= the pMCF of
+/// §3.1.4 solved approximately): commodities[i] flows only on candidates[i].
+struct PathSet {
+  std::vector<std::pair<NodeId, NodeId>> commodities;
+  std::vector<std::vector<Path>> candidates;
+};
+
+struct PathFlowSolution {
+  double concurrent_flow = 0.0;                 ///< F per unit demand.
+  std::vector<std::vector<double>> weights;     ///< [commodity][candidate].
+  long long phases = 0;
+  double solve_seconds = 0.0;
+};
+
+[[nodiscard]] PathFlowSolution fleischer_paths(const DiGraph& g,
+                                               const PathSet& paths,
+                                               const FleischerOptions& options = {});
+
+}  // namespace a2a

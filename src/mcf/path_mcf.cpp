@@ -1,0 +1,120 @@
+#include "mcf/path_mcf.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+
+PathSet build_disjoint_path_set(const DiGraph& g,
+                                const std::vector<NodeId>& terminals) {
+  PathSet set;
+  for (const NodeId s : terminals) {
+    for (const NodeId t : terminals) {
+      if (s == t) continue;
+      auto paths = edge_disjoint_paths(g, s, t);
+      A2A_REQUIRE(!paths.empty(), "no path between terminals ", s, " and ", t);
+      set.commodities.emplace_back(s, t);
+      set.candidates.push_back(std::move(paths));
+    }
+  }
+  return set;
+}
+
+PathSet build_shortest_path_set(const DiGraph& g,
+                                const std::vector<NodeId>& terminals,
+                                int per_pair_limit, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  PathSet set;
+  for (const NodeId s : terminals) {
+    for (const NodeId t : terminals) {
+      if (s == t) continue;
+      bool trunc = false;
+      auto paths = enumerate_shortest_paths(g, s, t, per_pair_limit, &trunc);
+      if (trunc && truncated != nullptr) *truncated = true;
+      set.commodities.emplace_back(s, t);
+      set.candidates.push_back(std::move(paths));
+    }
+  }
+  return set;
+}
+
+PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
+                                     const SimplexOptions& lp) {
+  const std::size_t K = paths.commodities.size();
+  A2A_REQUIRE(K >= 1, "empty path set");
+  LpModel model(Sense::kMaximize);
+  // One variable per (commodity, candidate), then F.
+  std::vector<int> first_var(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    first_var[k] = model.num_variables();
+    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+      model.add_variable(0.0, kInfinity, 0.0);
+    }
+  }
+  const int f_var = model.add_variable(0.0, kInfinity, 1.0);
+
+  // (22) capacity rows, built edge-major from the path incidences.
+  std::vector<int> cap_row(static_cast<std::size_t>(g.num_edges()), -1);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    cap_row[static_cast<std::size_t>(e)] =
+        model.add_row(RowType::kLessEqual, g.edge(e).capacity);
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+      const int v = first_var[k] + static_cast<int>(p);
+      for (const EdgeId e : paths.candidates[k][p]) {
+        model.add_coefficient(cap_row[static_cast<std::size_t>(e)], v, 1.0);
+      }
+    }
+    // (23) demand row.
+    const int row = model.add_row(RowType::kGreaterEqual, 0.0);
+    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+      model.add_coefficient(row, first_var[k] + static_cast<int>(p), 1.0);
+    }
+    model.add_coefficient(row, f_var, -1.0);
+  }
+
+  const LpSolution sol = solve_lp(model, lp);
+  if (!sol.optimal()) {
+    throw SolverError("path MCF LP failed: " + to_string(sol.status));
+  }
+  PathMcfSolution out;
+  out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
+  out.weights.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    out.weights[k].resize(paths.candidates[k].size());
+    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+      const double v =
+          sol.values[static_cast<std::size_t>(first_var[k]) + p];
+      out.weights[k][p] = v > 1e-10 ? v : 0.0;
+    }
+  }
+  out.lp_iterations = sol.iterations;
+  out.solve_seconds = sol.solve_seconds;
+  return out;
+}
+
+double max_link_load(const DiGraph& g, const PathSet& paths,
+                     const std::vector<std::vector<double>>& weights) {
+  A2A_REQUIRE(weights.size() == paths.candidates.size(),
+              "weights shape mismatch");
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    double total = 0.0;
+    for (const double w : weights[k]) total += w;
+    A2A_REQUIRE(total > 0.0, "commodity ", k, " has zero total weight");
+    for (std::size_t p = 0; p < weights[k].size(); ++p) {
+      const double share = weights[k][p] / total;
+      if (share <= 0.0) continue;
+      for (const EdgeId e : paths.candidates[k][p]) {
+        load[static_cast<std::size_t>(e)] += share / g.edge(e).capacity;
+      }
+    }
+  }
+  double worst = 0.0;
+  for (const double l : load) worst = std::max(worst, l);
+  return worst;
+}
+
+}  // namespace a2a

@@ -1,0 +1,48 @@
+// Path-variable MCF (pMCF) — §3.1.4, eqs. (21)-(24).
+//
+// For fabrics with NIC forwarding, flow variables live on candidate paths.
+// The exact LP is the dual view of the link MCF; with the candidate set
+// restricted to link-disjoint paths (|P| <= d per pair) it stays tractable
+// and — as §5.3 observes — almost matches the unrestricted optimum, while
+// all-shortest-path candidates can be both weaker (expanders) and
+// exponentially many (tori).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "lp/simplex.hpp"
+#include "mcf/fleischer.hpp"
+
+namespace a2a {
+
+/// Candidate set builders -----------------------------------------------
+
+/// Maximal link-disjoint path sets for every ordered terminal pair.
+[[nodiscard]] PathSet build_disjoint_path_set(const DiGraph& g,
+                                              const std::vector<NodeId>& terminals);
+
+/// All shortest paths per pair, truncated at `per_pair_limit`; `truncated`
+/// (optional) reports whether any pair hit the limit — the Fig. 1
+/// "#(s,d) paths large?" signal.
+[[nodiscard]] PathSet build_shortest_path_set(const DiGraph& g,
+                                              const std::vector<NodeId>& terminals,
+                                              int per_pair_limit = 64,
+                                              bool* truncated = nullptr);
+
+/// Exact path-based MCF LP. Result weights align with `paths.candidates`.
+struct PathMcfSolution {
+  double concurrent_flow = 0.0;
+  std::vector<std::vector<double>> weights;  ///< [commodity][candidate].
+  long long lp_iterations = 0;
+  double solve_seconds = 0.0;
+};
+[[nodiscard]] PathMcfSolution solve_path_mcf_exact(const DiGraph& g,
+                                                   const PathSet& paths,
+                                                   const SimplexOptions& lp = {});
+
+/// Max per-edge load if each commodity splits its unit demand over its
+/// candidate paths with the given weights (weights are normalized per
+/// commodity first). 1/load is the achieved concurrent rate.
+[[nodiscard]] double max_link_load(const DiGraph& g, const PathSet& paths,
+                                   const std::vector<std::vector<double>>& weights);
+
+}  // namespace a2a

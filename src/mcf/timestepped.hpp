@@ -1,0 +1,42 @@
+// Time-stepped MCF (tsMCF) — §3.1.3, eqs. (15)-(20).
+//
+// For ML-style fabrics where accelerators exchange finite chunks in
+// synchronized steps, the fluid MCF is extended to the temporal domain. The
+// exact LP is solved on the time-expanded structure and yields, for every
+// commodity, edge, and step, the fraction of the shard crossing that edge at
+// that step; the objective Σ_t U_t is the completion time in units of
+// (shard bytes / link bandwidth), so the optimum equals 1/F of the fluid
+// MCF when `steps` is large enough.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "lp/simplex.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+
+struct TsMcfSolution {
+  int steps = 0;
+  /// Σ_t U_t: total per-link time (in shard-transmission units) of the
+  /// schedule; the per-step peak utilizations.
+  double total_utilization = 0.0;
+  std::vector<double> step_utilization;
+  TerminalPairs pairs{std::vector<NodeId>{}};
+  /// flow[pair][step-1][edge] — fraction of the (s,d) shard crossing `edge`
+  /// during that step.
+  std::vector<std::vector<std::vector<double>>> flow;
+  long long lp_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Exact tsMCF. The LP grows as O(K * E * steps) variables, so this is for
+/// small fabrics (the paper's N=8/N=27 testbeds; N=27 already requires the
+/// decomposed path-unrolled pipeline in schedule/compile_link.hpp).
+/// `steps` must be >= diameter(g).
+[[nodiscard]] TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
+                                              const std::vector<NodeId>& terminals,
+                                              const SimplexOptions& lp = {});
+
+}  // namespace a2a

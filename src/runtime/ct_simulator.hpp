@@ -1,0 +1,36 @@
+// Cut-through simulator for path-based schedules — the stand-in for the
+// Cerio NC1225 fabric driven by OMPI+UCX (§4/§5.2).
+//
+// Two levels of fidelity:
+//  * simulate_path_schedule: closed-form steady-state model — completion is
+//    the max of (i) the worst link's serialization time under the schedule's
+//    loads, (ii) each host's injection/drain time, plus pipeline latency —
+//    with the §5.5 QP-contention penalty applied to link bandwidth as the
+//    number of chunk flows grows.
+//  * simulate_path_schedule_events: wormhole discrete-event simulation at
+//    chunk granularity (per-link busy intervals, head-flit pipelining).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "runtime/fabric.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct CtSimResult {
+  double seconds = 0.0;
+  double algo_throughput_GBps = 0.0;
+  long long num_flows = 0;  ///< chunk flows (QPs) the schedule created.
+};
+
+[[nodiscard]] CtSimResult simulate_path_schedule(const DiGraph& g,
+                                                 const PathSchedule& schedule,
+                                                 double shard_bytes,
+                                                 int num_terminals,
+                                                 const Fabric& fabric);
+
+[[nodiscard]] CtSimResult simulate_path_schedule_events(
+    const DiGraph& g, const PathSchedule& schedule, double shard_bytes,
+    int num_terminals, const Fabric& fabric);
+
+}  // namespace a2a

@@ -1,0 +1,25 @@
+// Discrete-event store-and-forward simulator for link schedules.
+//
+// Finer-grained companion to runtime/sf_simulator.hpp: instead of a global
+// barrier per step, each rank begins its step-t sends as soon as (a) its own
+// step t-1 receives finished and (b) the payload chunk arrived. This bounds
+// how much the per-step-barrier model over-estimates, and is used in tests
+// to sanity-check the analytic simulator (event time <= barrier time).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "runtime/fabric.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct EventSimResult {
+  double seconds = 0.0;
+  double algo_throughput_GBps = 0.0;
+};
+
+[[nodiscard]] EventSimResult simulate_link_schedule_events(
+    const DiGraph& g, const LinkSchedule& schedule, double shard_bytes,
+    int num_terminals, const Fabric& fabric);
+
+}  // namespace a2a

@@ -1,0 +1,54 @@
+#include "runtime/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace a2a {
+
+double Fabric::effective_link_GBps(double flows) const {
+  if (flows <= qp_knee) return link_GBps;
+  const double doublings = std::log2(flows / qp_knee);
+  const double factor = 1.0 / (1.0 + qp_penalty * doublings);
+  return link_GBps * std::max(factor, 0.25);
+}
+
+Fabric gpu_mscl_fabric() {
+  Fabric f;
+  f.name = "A100+MSCCL";
+  f.link_GBps = 3.125;
+  f.injection_GBps = 12.5;
+  f.nic_forwarding = false;
+  f.flow_control = FlowControl::kStoreAndForward;
+  f.step_sync_s = 12e-6;
+  f.per_chunk_s = 1e-6;
+  return f;
+}
+
+Fabric cpu_oneccl_fabric() {
+  Fabric f;
+  f.name = "CPU+oneCCL";
+  f.link_GBps = 3.125;
+  f.injection_GBps = 12.5;
+  f.nic_forwarding = false;
+  f.flow_control = FlowControl::kStoreAndForward;
+  f.step_sync_s = 30e-6;
+  f.per_chunk_s = 2e-6;
+  return f;
+}
+
+Fabric hpc_cerio_fabric() {
+  Fabric f;
+  f.name = "Cerio+OMPI";
+  f.link_GBps = 3.125;
+  f.injection_GBps = 12.5;
+  f.nic_forwarding = true;
+  f.flow_control = FlowControl::kCutThrough;
+  f.step_sync_s = 30e-6;
+  f.per_chunk_s = 0.3e-6;  // per-message issue over pre-established QPs
+  f.hop_latency_s = 1.5e-6;
+  f.qp_knee = 512.0;
+  f.qp_penalty = 0.08;
+  return f;
+}
+
+}  // namespace a2a

@@ -1,0 +1,51 @@
+// Fabric models — Table 1 of the paper.
+//
+// One struct captures the properties that distinguish HPC interconnects
+// (NIC forwarding, cut-through, forwarding BW >= injection BW) from ML
+// accelerator fabrics (host forwarding, store-and-forward, synchronized
+// steps), plus the measured-style constants of the paper's testbeds
+// (Cerio NC1225: 12x25 Gbps links, 100 Gbps injection).
+#pragma once
+
+#include <string>
+
+namespace a2a {
+
+enum class FlowControl { kStoreAndForward, kCutThrough };
+
+struct Fabric {
+  std::string name;
+  /// Per-link bandwidth b in GB/s (25 Gbps = 3.125 GB/s on the testbeds).
+  double link_GBps = 3.125;
+  /// Host/accelerator injection bandwidth in GB/s (100 Gbps = 12.5 GB/s).
+  double injection_GBps = 12.5;
+  /// True when the NIC forwards in hardware (path-based schedules usable).
+  bool nic_forwarding = false;
+  FlowControl flow_control = FlowControl::kStoreAndForward;
+  /// Per-step synchronization cost for store-and-forward runtimes (s).
+  double step_sync_s = 25e-6;
+  /// Fixed per-chunk/QP setup overhead (s).
+  double per_chunk_s = 2e-6;
+  /// Per-hop wormhole latency for cut-through fabrics (s).
+  double hop_latency_s = 1e-6;
+  /// QP-contention model (§5.5): past `qp_knee` concurrent flows, effective
+  /// per-link bandwidth degrades by `qp_penalty` per doubling.
+  double qp_knee = 256.0;
+  double qp_penalty = 0.05;
+
+  /// Effective link bandwidth once `flows` QPs are active.
+  [[nodiscard]] double effective_link_GBps(double flows) const;
+};
+
+/// The internal GPU testbed: A100s + patch panel, MSCCL runtime (§5.1).
+[[nodiscard]] Fabric gpu_mscl_fabric();
+
+/// The TACC CPU cluster: Cerio fabric, oneCCL runtime, no NIC forwarding
+/// used (link-based schedules).
+[[nodiscard]] Fabric cpu_oneccl_fabric();
+
+/// The TACC CPU cluster with Cerio NIC forwarding enabled (path-based
+/// schedules; forwarding bandwidth d*b >= injection 100 Gbps).
+[[nodiscard]] Fabric hpc_cerio_fabric();
+
+}  // namespace a2a

@@ -1,0 +1,33 @@
+#include "runtime/sf_simulator.hpp"
+
+#include <algorithm>
+
+namespace a2a {
+
+SfSimResult simulate_link_schedule(const DiGraph& g,
+                                   const LinkSchedule& schedule,
+                                   double shard_bytes, int num_terminals,
+                                   const Fabric& fabric) {
+  A2A_REQUIRE(shard_bytes > 0.0, "shard size must be positive");
+  A2A_REQUIRE(num_terminals >= 2, "need >= 2 terminals");
+  const auto bytes = schedule.bytes_per_edge_step(g, shard_bytes);
+  double total = 0.0;
+  for (int t = 0; t < schedule.num_steps; ++t) {
+    double slowest = 0.0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double by = bytes[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+      if (by <= 0.0) continue;
+      const double bw_GBps = fabric.link_GBps * g.edge(e).capacity;
+      slowest = std::max(slowest, by / (bw_GBps * 1e9));
+    }
+    total += fabric.step_sync_s + slowest;
+  }
+  SfSimResult out;
+  out.seconds = total;
+  out.steps = schedule.num_steps;
+  out.algo_throughput_GBps =
+      (num_terminals - 1) * shard_bytes / total / 1e9;
+  return out;
+}
+
+}  // namespace a2a

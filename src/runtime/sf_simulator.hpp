@@ -1,0 +1,31 @@
+// Store-and-forward simulator for link-based schedules — the stand-in for
+// the MSCCL (GPU) and oneCCL (CPU) runtimes of §4/§5.2.
+//
+// Execution model: per comm step, every rank posts its sends and receives
+// asynchronously and the step ends with a synchronization; the step's
+// duration is the sync cost plus the slowest link's serialization time.
+// Edge capacity acts as a bandwidth multiplier, so Fig. 2-augmented host
+// links (capacity B_host/b) are simulated faithfully.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "runtime/fabric.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct SfSimResult {
+  double seconds = 0.0;
+  double algo_throughput_GBps = 0.0;  ///< (N_terminals - 1) * shard / time.
+  int steps = 0;
+};
+
+/// Simulates `schedule` moving shards of `shard_bytes` bytes between
+/// `num_terminals` terminals.
+[[nodiscard]] SfSimResult simulate_link_schedule(const DiGraph& g,
+                                                 const LinkSchedule& schedule,
+                                                 double shard_bytes,
+                                                 int num_terminals,
+                                                 const Fabric& fabric);
+
+}  // namespace a2a

@@ -1,0 +1,62 @@
+#include "schedule/chunking.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace a2a {
+
+std::vector<Rational> snap_to_unit_fractions(const std::vector<double>& values,
+                                             const ChunkingOptions& options) {
+  A2A_REQUIRE(!values.empty(), "no values to snap");
+  double total = 0.0;
+  for (const double v : values) {
+    A2A_REQUIRE(v >= 0.0, "negative rate cannot be chunked");
+    total += v;
+  }
+  A2A_REQUIRE(total > 0.0, "all rates are zero");
+
+  // Snap onto the fixed grid k/D. A common denominator keeps every later
+  // HCF's denominator a divisor of D, so chunk counts stay small integers.
+  const std::int64_t D = options.max_denominator;
+  std::vector<Rational> fractions(values.size(), Rational(0));
+  std::int64_t assigned = 0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double frac = values[i] / total;
+    if (frac < options.min_fraction) continue;
+    const auto num = static_cast<std::int64_t>(
+        std::llround(frac * static_cast<double>(D)));
+    fractions[i] = Rational(num, D);
+    assigned += num;
+    if (values[i] > values[largest]) largest = i;
+  }
+  // Force the exact unit sum by adjusting the dominant entry.
+  fractions[largest] += Rational(D - assigned, D);
+  A2A_REQUIRE(fractions[largest] > Rational(0),
+              "chunk snapping produced a non-positive dominant fraction");
+  return fractions;
+}
+
+Rational fractions_hcf(const std::vector<Rational>& fractions) {
+  Rational h(0);
+  for (const Rational& f : fractions) {
+    if (f.is_zero()) continue;
+    h = Rational::gcd(h, f);
+  }
+  A2A_REQUIRE(!h.is_zero(), "HCF of all-zero fractions");
+  return h;
+}
+
+Rational fractions_hcf(const std::vector<std::vector<Rational>>& fraction_sets) {
+  Rational h(0);
+  for (const auto& set : fraction_sets) {
+    for (const Rational& f : set) {
+      if (f.is_zero()) continue;
+      h = Rational::gcd(h, f);
+    }
+  }
+  A2A_REQUIRE(!h.is_zero(), "HCF of all-zero fractions");
+  return h;
+}
+
+}  // namespace a2a

@@ -1,0 +1,39 @@
+// Chunking — the §4 lowering step.
+//
+// The MCF solvers emit fractional rates; runtimes move discrete chunks. We
+// snap rates to rationals with bounded denominators, normalize them to
+// per-shard fractions, and size the base chunk as the highest common factor
+// of all fractions so every route/step carries an integer chunk count.
+#pragma once
+
+#include <vector>
+
+#include "common/rational.hpp"
+
+namespace a2a {
+
+struct ChunkingOptions {
+  /// Largest denominator allowed when snapping an LP rate to a rational.
+  /// This bounds the worst-case chunks-per-shard (and hence the QP count
+  /// §5.5 worries about): exact-LP weights are typically small fractions
+  /// that snap exactly, while FPTAS weights carry noise and land on the
+  /// grid. 360 = 2^3*3^2*5 is rich in divisors.
+  std::int64_t max_denominator = 360;
+  /// Chunks smaller than this fraction of a shard are merged away.
+  double min_fraction = 1e-4;
+};
+
+/// Snaps `values` (non-negative) to rationals and rescales them so they sum
+/// exactly to 1 (dropping entries below min_fraction and renormalizing).
+/// The input order is preserved; dropped entries become 0.
+[[nodiscard]] std::vector<Rational> snap_to_unit_fractions(
+    const std::vector<double>& values, const ChunkingOptions& options = {});
+
+/// Highest common factor of the non-zero fractions (the base chunk size).
+[[nodiscard]] Rational fractions_hcf(const std::vector<Rational>& fractions);
+
+/// HCF across many commodities' fraction vectors.
+[[nodiscard]] Rational fractions_hcf(
+    const std::vector<std::vector<Rational>>& fraction_sets);
+
+}  // namespace a2a

@@ -1,0 +1,54 @@
+// Link-schedule compilation — §4 "Link-based Schedules".
+//
+// Two producers:
+//  * compile_tsmcf_schedule: lowers an exact tsMCF LP solution. The LP gives
+//    per-(commodity, edge, step) fractions; we decompose each commodity's
+//    space-time flow into space-time paths (FIFO-matching receives to sends
+//    at every node, which the cumulative constraints of eq. 17 make
+//    feasible), chunk the path weights, and emit (C, (u,w), t) transfers.
+//  * unroll_rate_schedule: the scalable pipeline for fabrics too large for
+//    the tsMCF LP — takes the weighted paths of a rate-MCF solution and
+//    list-schedules every chunk hop onto the earliest step where its link
+//    has a free slot, producing a pipelined schedule whose steady-state
+//    throughput matches the fluid optimum.
+#pragma once
+
+#include <vector>
+
+#include "mcf/extraction.hpp"
+#include "mcf/timestepped.hpp"
+#include "schedule/chunking.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+/// Weighted routes of one commodity (input to the unroller).
+struct CommodityPaths {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::vector<WeightedPath> paths;
+};
+
+/// Exact lowering of a tsMCF solution to a LinkSchedule.
+[[nodiscard]] LinkSchedule compile_tsmcf_schedule(const DiGraph& g,
+                                                  const TsMcfSolution& ts,
+                                                  const ChunkingOptions& options = {});
+
+struct UnrollOptions {
+  ChunkingOptions chunking;
+  /// Chunk slots per link per step. 1 keeps steps light (lowest sync cost
+  /// per byte at large buffers); higher values shorten the schedule.
+  int slots_per_link = 1;
+};
+
+/// Scalable pipelined lowering of weighted rate-MCF paths.
+[[nodiscard]] LinkSchedule unroll_rate_schedule(const DiGraph& g,
+                                                const std::vector<CommodityPaths>& commodities,
+                                                const UnrollOptions& options = {});
+
+/// Extracts CommodityPaths from a per-commodity link-flow solution
+/// (widest-path extraction per commodity, §3.2.1).
+[[nodiscard]] std::vector<CommodityPaths> paths_from_link_flows(
+    const DiGraph& g, const LinkFlowSolution& flows);
+
+}  // namespace a2a

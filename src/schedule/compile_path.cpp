@@ -1,0 +1,92 @@
+#include "schedule/compile_path.hpp"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace a2a {
+
+namespace {
+
+PathSchedule compile_from_fraction_sets(
+    const DiGraph& g,
+    const std::vector<std::tuple<NodeId, NodeId, const Path*, double>>& routes,
+    const ChunkingOptions& options) {
+  // Group route weights by commodity, snap each commodity to unit fractions.
+  std::vector<std::vector<Rational>> fraction_sets;
+  std::vector<std::vector<std::size_t>> route_of;  // indices into `routes`
+  std::map<std::pair<NodeId, NodeId>, std::size_t> commodity_slot;
+  std::vector<std::vector<double>> weight_sets;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    const auto& [s, d, path, w] = routes[i];
+    const auto key = std::make_pair(s, d);
+    auto it = commodity_slot.find(key);
+    if (it == commodity_slot.end()) {
+      it = commodity_slot.emplace(key, weight_sets.size()).first;
+      weight_sets.emplace_back();
+      route_of.emplace_back();
+    }
+    weight_sets[it->second].push_back(w);
+    route_of[it->second].push_back(i);
+  }
+  fraction_sets.reserve(weight_sets.size());
+  for (const auto& ws : weight_sets) {
+    fraction_sets.push_back(snap_to_unit_fractions(ws, options));
+  }
+  const Rational unit = fractions_hcf(fraction_sets);
+
+  PathSchedule sched;
+  sched.num_nodes = g.num_nodes();
+  sched.chunk_unit = unit;
+  for (std::size_t c = 0; c < fraction_sets.size(); ++c) {
+    for (std::size_t p = 0; p < fraction_sets[c].size(); ++p) {
+      const Rational& frac = fraction_sets[c][p];
+      if (frac.is_zero()) continue;
+      const auto& [s, d, path, w] = routes[route_of[c][p]];
+      const Rational count = frac / unit;
+      A2A_ASSERT(count.den() == 1, "global HCF did not divide a fraction");
+      RouteEntry entry;
+      entry.src = s;
+      entry.dst = d;
+      entry.path = *path;
+      entry.weight = frac.to_double();
+      entry.num_chunks = static_cast<int>(count.num());
+      sched.entries.push_back(std::move(entry));
+    }
+  }
+  return sched;
+}
+
+}  // namespace
+
+PathSchedule compile_path_schedule(const DiGraph& g, const PathSet& paths,
+                                   const std::vector<std::vector<double>>& weights,
+                                   const ChunkingOptions& options) {
+  A2A_REQUIRE(weights.size() == paths.candidates.size(), "weights shape mismatch");
+  std::vector<std::tuple<NodeId, NodeId, const Path*, double>> routes;
+  for (std::size_t k = 0; k < paths.commodities.size(); ++k) {
+    const auto [s, d] = paths.commodities[k];
+    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+      if (weights[k][p] <= 0.0) continue;
+      routes.emplace_back(s, d, &paths.candidates[k][p], weights[k][p]);
+    }
+  }
+  A2A_REQUIRE(!routes.empty(), "no positive-weight routes");
+  return compile_from_fraction_sets(g, routes, options);
+}
+
+PathSchedule compile_path_schedule(const DiGraph& g,
+                                   const std::vector<CommodityPaths>& commodities,
+                                   const ChunkingOptions& options) {
+  std::vector<std::tuple<NodeId, NodeId, const Path*, double>> routes;
+  for (const CommodityPaths& cp : commodities) {
+    for (const WeightedPath& wp : cp.paths) {
+      if (wp.weight <= 0.0) continue;
+      routes.emplace_back(cp.src, cp.dst, &wp.path, wp.weight);
+    }
+  }
+  A2A_REQUIRE(!routes.empty(), "no positive-weight routes");
+  return compile_from_fraction_sets(g, routes, options);
+}
+
+}  // namespace a2a

@@ -1,0 +1,27 @@
+// Path-schedule compilation — §4 "Path-based Schedules".
+//
+// Takes weighted routes per commodity (from pMCF or MCF-extP), snaps the
+// weights, sizes the base chunk as the global HCF of all route weights, and
+// emits a PathSchedule whose chunk counts approximate the weighted-path MCF
+// on hardware that cannot rate-limit per route (the Cerio workaround of §4).
+#pragma once
+
+#include "mcf/fleischer.hpp"
+#include "mcf/path_mcf.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+/// From a candidate PathSet + per-candidate weights (pMCF output).
+[[nodiscard]] PathSchedule compile_path_schedule(
+    const DiGraph& g, const PathSet& paths,
+    const std::vector<std::vector<double>>& weights,
+    const ChunkingOptions& options = {});
+
+/// From extracted commodity paths (MCF-extP output).
+[[nodiscard]] PathSchedule compile_path_schedule(
+    const DiGraph& g, const std::vector<CommodityPaths>& commodities,
+    const ChunkingOptions& options = {});
+
+}  // namespace a2a

@@ -1,0 +1,55 @@
+#include "schedule/rounds.hpp"
+
+#include <algorithm>
+
+#include "runtime/ct_simulator.hpp"
+
+namespace a2a {
+
+RoundedPathSchedule partition_into_rounds(const PathSchedule& schedule,
+                                          int rounds) {
+  A2A_REQUIRE(rounds >= 1, "need >= 1 round");
+  RoundedPathSchedule out;
+  out.num_rounds = rounds;
+  out.rounds.assign(static_cast<std::size_t>(rounds), PathSchedule{});
+  for (auto& r : out.rounds) {
+    r.num_nodes = schedule.num_nodes;
+    r.chunk_unit = schedule.chunk_unit;
+  }
+  for (const RouteEntry& entry : schedule.entries) {
+    // Distribute the entry's chunks round-robin: round r gets either
+    // floor or ceil of chunks/rounds.
+    const int base = entry.num_chunks / rounds;
+    const int extra = entry.num_chunks % rounds;
+    for (int r = 0; r < rounds; ++r) {
+      const int chunks = base + (r < extra ? 1 : 0);
+      if (chunks == 0) continue;
+      RouteEntry piece = entry;
+      piece.num_chunks = chunks;
+      piece.weight = schedule.chunk_unit.to_double() * chunks;
+      out.rounds[static_cast<std::size_t>(r)].entries.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+RoundedSimResult simulate_rounded_schedule(const DiGraph& g,
+                                           const RoundedPathSchedule& schedule,
+                                           double shard_bytes, int num_terminals,
+                                           const Fabric& fabric) {
+  A2A_REQUIRE(schedule.num_rounds >= 1, "empty rounded schedule");
+  RoundedSimResult out;
+  for (const PathSchedule& round : schedule.rounds) {
+    if (round.entries.empty()) continue;
+    const CtSimResult r =
+        simulate_path_schedule(g, round, shard_bytes, num_terminals, fabric);
+    out.seconds += r.seconds + fabric.step_sync_s;  // inter-round barrier
+    out.peak_concurrent_flows =
+        std::max(out.peak_concurrent_flows, r.num_flows);
+  }
+  out.algo_throughput_GBps =
+      (num_terminals - 1) * shard_bytes / out.seconds / 1e9;
+  return out;
+}
+
+}  // namespace a2a

@@ -1,0 +1,45 @@
+// Round partitioning of path schedules — the first of the two §5.5 fixes
+// the paper proposes for the injection-rate-control limitation: "introduce
+// time steps into the routed MCF schedules and partition the flows across
+// multiple timesteps".
+//
+// A RoundedPathSchedule splits every route's chunks across R rounds so at
+// most ~1/R of the QPs are concurrently active; rounds execute back to
+// back. Fewer concurrent QPs means less of the §5.5 contention penalty at
+// the price of R-1 inter-round synchronizations — the simulator exposes the
+// trade-off and bench_ablation_decomposition sweeps it.
+#pragma once
+
+#include "runtime/fabric.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct RoundedPathSchedule {
+  int num_rounds = 0;
+  /// rounds[r] is a complete PathSchedule fragment: same routes, chunk
+  /// counts split per round (weights rescaled accordingly).
+  std::vector<PathSchedule> rounds;
+};
+
+/// Splits `schedule` into `rounds` fragments. Chunks of each route are
+/// distributed as evenly as possible; routes with fewer chunks than rounds
+/// appear in fewer rounds. Every commodity keeps full coverage across the
+/// union of rounds.
+[[nodiscard]] RoundedPathSchedule partition_into_rounds(const PathSchedule& schedule,
+                                                        int rounds);
+
+struct RoundedSimResult {
+  double seconds = 0.0;
+  double algo_throughput_GBps = 0.0;
+  long long peak_concurrent_flows = 0;
+};
+
+/// Simulates the rounded schedule: rounds run sequentially (one sync
+/// between rounds); QP contention is computed from the PEAK concurrent
+/// flows rather than the total.
+[[nodiscard]] RoundedSimResult simulate_rounded_schedule(
+    const DiGraph& g, const RoundedPathSchedule& schedule, double shard_bytes,
+    int num_terminals, const Fabric& fabric);
+
+}  // namespace a2a

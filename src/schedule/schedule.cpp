@@ -1,0 +1,45 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+
+namespace a2a {
+
+std::vector<std::vector<double>> LinkSchedule::bytes_per_edge_step(
+    const DiGraph& g, double shard_bytes) const {
+  std::vector<std::vector<double>> bytes(
+      static_cast<std::size_t>(num_steps),
+      std::vector<double>(static_cast<std::size_t>(g.num_edges()), 0.0));
+  for (const Transfer& tr : transfers) {
+    const EdgeId e = g.find_edge(tr.from, tr.to);
+    A2A_REQUIRE(e >= 0, "transfer on a non-edge (", tr.from, ",", tr.to, ")");
+    A2A_REQUIRE(tr.step >= 1 && tr.step <= num_steps, "transfer step out of range");
+    bytes[static_cast<std::size_t>(tr.step - 1)][static_cast<std::size_t>(e)] +=
+        tr.chunk.size().to_double() * shard_bytes;
+  }
+  return bytes;
+}
+
+std::vector<double> PathSchedule::edge_load(const DiGraph& g) const {
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const RouteEntry& r : entries) {
+    for (const EdgeId e : r.path) load[static_cast<std::size_t>(e)] += r.weight;
+  }
+  return load;
+}
+
+double PathSchedule::max_link_load(const DiGraph& g) const {
+  const auto load = edge_load(g);
+  double worst = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    worst = std::max(worst, load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  return worst;
+}
+
+long long PathSchedule::total_chunks() const {
+  long long total = 0;
+  for (const RouteEntry& r : entries) total += r.num_chunks;
+  return total;
+}
+
+}  // namespace a2a

@@ -1,0 +1,68 @@
+#include "schedule/stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace a2a {
+
+LinkScheduleStats analyze_link_schedule(const DiGraph& g,
+                                        const LinkSchedule& schedule) {
+  (void)g;
+  LinkScheduleStats stats;
+  stats.num_steps = schedule.num_steps;
+  stats.num_transfers = static_cast<long long>(schedule.transfers.size());
+  stats.step_traffic.assign(static_cast<std::size_t>(schedule.num_steps), 0.0);
+
+  using ChunkKey = std::tuple<NodeId, NodeId, std::int64_t, std::int64_t,
+                              std::int64_t, std::int64_t>;
+  // Per chunk: hops ordered by step, to find residence intervals.
+  std::map<ChunkKey, std::vector<const Transfer*>> per_chunk;
+  for (const Transfer& t : schedule.transfers) {
+    stats.step_traffic[static_cast<std::size_t>(t.step - 1)] +=
+        t.chunk.size().to_double();
+    per_chunk[{t.chunk.src, t.chunk.dst, t.chunk.lo.num(), t.chunk.lo.den(),
+               t.chunk.hi.num(), t.chunk.hi.den()}]
+        .push_back(&t);
+  }
+  // Scratch: a forwarded chunk occupies rank r's scratch from its arrival
+  // step until the step it is forwarded. Track per (rank, step) occupancy.
+  std::map<std::pair<NodeId, int>, double> scratch;
+  for (auto& [key, hops] : per_chunk) {
+    std::sort(hops.begin(), hops.end(), [](const Transfer* a, const Transfer* b) {
+      return a->step < b->step;
+    });
+    stats.max_hops = std::max(stats.max_hops, static_cast<int>(hops.size()));
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const NodeId holder = hops[i]->to;
+      for (int step = hops[i]->step; step < hops[i + 1]->step; ++step) {
+        scratch[{holder, step}] += hops[i]->chunk.size().to_double();
+      }
+    }
+  }
+  for (const auto& [key, bytes] : scratch) {
+    stats.peak_scratch_per_rank = std::max(stats.peak_scratch_per_rank, bytes);
+  }
+  return stats;
+}
+
+PathScheduleStats analyze_path_schedule(const DiGraph& g,
+                                        const PathSchedule& schedule) {
+  PathScheduleStats stats;
+  stats.num_routes = static_cast<long long>(schedule.entries.size());
+  stats.num_chunks = schedule.total_chunks();
+  long long total_hops = 0;
+  for (const RouteEntry& r : schedule.entries) {
+    total_hops += static_cast<long long>(r.path.size());
+    stats.max_hops = std::max(stats.max_hops, static_cast<int>(r.path.size()));
+    stats.vc_layers = std::max(stats.vc_layers, r.layer + 1);
+  }
+  stats.avg_hops = stats.num_routes > 0
+                       ? static_cast<double>(total_hops) /
+                             static_cast<double>(stats.num_routes)
+                       : 0.0;
+  stats.max_link_load = schedule.max_link_load(g);
+  return stats;
+}
+
+}  // namespace a2a

@@ -1,0 +1,42 @@
+// Schedule statistics — what an operator (or the MSCCL/oneCCL interpreter)
+// needs to know before running a schedule: scratch memory for forwarded
+// chunks, per-step traffic histogram, QP counts, hop distributions.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct LinkScheduleStats {
+  int num_steps = 0;
+  long long num_transfers = 0;
+  /// Peak bytes of in-flight forwarded chunks buffered at any single rank,
+  /// per unit shard (multiply by the shard byte size). oneCCL-style
+  /// interpreters size their scratch buffers from this.
+  double peak_scratch_per_rank = 0.0;
+  /// Per-step total traffic (fractions of shards).
+  std::vector<double> step_traffic;
+  /// Longest chunk journey in hops.
+  int max_hops = 0;
+};
+
+[[nodiscard]] LinkScheduleStats analyze_link_schedule(const DiGraph& g,
+                                                      const LinkSchedule& schedule);
+
+struct PathScheduleStats {
+  long long num_routes = 0;
+  long long num_chunks = 0;  ///< QPs created by the lowering (§5.5).
+  double avg_hops = 0.0;
+  int max_hops = 0;
+  int vc_layers = 0;
+  /// Max capacity-normalized link load (the all-to-all time per unit shard).
+  double max_link_load = 0.0;
+};
+
+[[nodiscard]] PathScheduleStats analyze_path_schedule(const DiGraph& g,
+                                                      const PathSchedule& schedule);
+
+}  // namespace a2a

@@ -1,0 +1,152 @@
+#include "schedule/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace a2a {
+
+namespace {
+
+std::string chunk_name(const Chunk& c) {
+  std::ostringstream os;
+  os << "chunk(" << c.src << "->" << c.dst << ", [" << c.lo << "," << c.hi << "))";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult validate_link_schedule(const DiGraph& g,
+                                        const LinkSchedule& schedule,
+                                        const std::vector<NodeId>& terminals) {
+  ValidationResult result;
+  // Group transfers per chunk identity.
+  std::map<std::tuple<NodeId, NodeId, std::int64_t, std::int64_t, std::int64_t,
+                      std::int64_t>,
+           std::vector<const Transfer*>>
+      per_chunk;
+  for (const Transfer& t : schedule.transfers) {
+    if (t.step < 1 || t.step > schedule.num_steps) {
+      result.fail("transfer step out of range: " + std::to_string(t.step));
+    }
+    if (g.find_edge(t.from, t.to) < 0) {
+      result.fail("transfer on non-edge (" + std::to_string(t.from) + "," +
+                  std::to_string(t.to) + ")");
+    }
+    per_chunk[{t.chunk.src, t.chunk.dst, t.chunk.lo.num(), t.chunk.lo.den(),
+               t.chunk.hi.num(), t.chunk.hi.den()}]
+        .push_back(&t);
+  }
+  // Per chunk: hops sorted by step must chain src -> ... -> dst with
+  // strictly increasing steps.
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::pair<Rational, Rational>>>
+      delivered;
+  for (auto& [key, hops] : per_chunk) {
+    const Chunk& c = hops.front()->chunk;
+    std::sort(hops.begin(), hops.end(),
+              [](const Transfer* a, const Transfer* b) { return a->step < b->step; });
+    NodeId at = c.src;
+    int prev_step = 0;
+    bool chain_ok = true;
+    for (const Transfer* t : hops) {
+      if (t->from != at) {
+        result.fail(chunk_name(c) + " forwarded from " + std::to_string(t->from) +
+                    " before arriving there");
+        chain_ok = false;
+        break;
+      }
+      if (t->step <= prev_step) {
+        result.fail(chunk_name(c) + " violates causality at step " +
+                    std::to_string(t->step));
+        chain_ok = false;
+        break;
+      }
+      at = t->to;
+      prev_step = t->step;
+    }
+    if (chain_ok && at != c.dst) {
+      result.fail(chunk_name(c) + " ends at node " + std::to_string(at) +
+                  ", not its destination");
+    }
+    if (chain_ok && at == c.dst) {
+      delivered[{c.src, c.dst}].emplace_back(c.lo, c.hi);
+    }
+  }
+  // Completeness: every (s,d) shard tiles [0,1).
+  for (const NodeId s : terminals) {
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      auto it = delivered.find({s, d});
+      if (it == delivered.end()) {
+        result.fail("shard " + std::to_string(s) + "->" + std::to_string(d) +
+                    " never delivered");
+        continue;
+      }
+      auto& intervals = it->second;
+      std::sort(intervals.begin(), intervals.end());
+      Rational cursor(0);
+      bool tiled = true;
+      for (const auto& [lo, hi] : intervals) {
+        if (!(lo == cursor)) {
+          tiled = false;
+          break;
+        }
+        cursor = hi;
+      }
+      if (!tiled || !(cursor == Rational(1))) {
+        result.fail("shard " + std::to_string(s) + "->" + std::to_string(d) +
+                    " chunks do not tile [0,1)");
+      }
+    }
+  }
+  return result;
+}
+
+ValidationResult validate_path_schedule(const DiGraph& g,
+                                        const PathSchedule& schedule,
+                                        const std::vector<NodeId>& terminals) {
+  ValidationResult result;
+  std::map<std::pair<NodeId, NodeId>, double> weight_sum;
+  std::map<std::pair<NodeId, NodeId>, long long> chunk_sum;
+  for (const RouteEntry& r : schedule.entries) {
+    if (!path_is_valid(g, r.path, r.src, r.dst)) {
+      result.fail("invalid route for " + std::to_string(r.src) + "->" +
+                  std::to_string(r.dst));
+      continue;
+    }
+    if (r.weight <= 0.0 || r.num_chunks <= 0) {
+      result.fail("non-positive route weight/chunks for " +
+                  std::to_string(r.src) + "->" + std::to_string(r.dst));
+    }
+    weight_sum[{r.src, r.dst}] += r.weight;
+    chunk_sum[{r.src, r.dst}] += r.num_chunks;
+  }
+  const double unit = schedule.chunk_unit.to_double();
+  const auto expected_chunks =
+      static_cast<long long>(std::llround(1.0 / unit));
+  for (const NodeId s : terminals) {
+    for (const NodeId d : terminals) {
+      if (s == d) continue;
+      const auto w = weight_sum.find({s, d});
+      if (w == weight_sum.end()) {
+        result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
+                    " has no routes");
+        continue;
+      }
+      if (std::abs(w->second - 1.0) > 1e-6) {
+        result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
+                    " weights sum to " + std::to_string(w->second));
+      }
+      if (chunk_sum[{s, d}] != expected_chunks) {
+        result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
+                    " ships " + std::to_string(chunk_sum[{s, d}]) +
+                    " chunks, expected " + std::to_string(expected_chunks));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace a2a

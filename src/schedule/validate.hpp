@@ -1,0 +1,44 @@
+// Schedule validators.
+//
+// Every compiled schedule is checked against the collective's contract
+// before it is simulated or executed:
+//   * completeness — every shard B_{s,d} arrives at d exactly once
+//     (chunk intervals tile [0,1) with no overlap);
+//   * causality — an intermediate node forwards a chunk only at a step
+//     strictly after it received it, and the chunk's hop sequence is a
+//     connected path from src to dst;
+//   * locality — every hop is a fabric edge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+/// Validates a link schedule for the all-to-all collective over the given
+/// terminals (all nodes for plain fabrics; hosts for augmented graphs).
+[[nodiscard]] ValidationResult validate_link_schedule(
+    const DiGraph& g, const LinkSchedule& schedule,
+    const std::vector<NodeId>& terminals);
+
+/// Validates a path schedule: every commodity's route weights tile the unit
+/// shard, chunk counts are consistent with the chunk unit, and every route
+/// is a valid src->dst path.
+[[nodiscard]] ValidationResult validate_path_schedule(
+    const DiGraph& g, const PathSchedule& schedule,
+    const std::vector<NodeId>& terminals);
+
+}  // namespace a2a

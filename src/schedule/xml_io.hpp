@@ -1,0 +1,31 @@
+// Schedule XML dialects — §4's lowering format.
+//
+// The paper lowers link schedules to MSCCL/oneCCL XML programs and path
+// schedules to an OMPI+UCX route/steering XML. We serialize the same
+// information in two self-contained dialects and can round-trip both:
+//
+//   <linkschedule nodes=".." steps="..">
+//     <transfer src=".." dst=".." lo="p/q" hi="p/q" from=".." to=".." step=".."/>
+//   </linkschedule>
+//
+//   <pathschedule nodes=".." chunkunit="p/q">
+//     <route src=".." dst=".." weight="p/q" chunks=".." layer=".." path="0>3>7"/>
+//   </pathschedule>
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+[[nodiscard]] std::string link_schedule_to_xml(const LinkSchedule& schedule);
+[[nodiscard]] LinkSchedule link_schedule_from_xml(const std::string& xml);
+
+[[nodiscard]] std::string path_schedule_to_xml(const DiGraph& g,
+                                               const PathSchedule& schedule);
+[[nodiscard]] PathSchedule path_schedule_from_xml(const DiGraph& g,
+                                                  const std::string& xml);
+
+}  // namespace a2a

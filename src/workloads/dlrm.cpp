@@ -1,0 +1,28 @@
+#include "workloads/dlrm.hpp"
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+double dlrm_shard_bytes(const DlrmConfig& config) {
+  A2A_REQUIRE(config.ranks >= 2, "DLRM exchange needs >= 2 ranks");
+  // Each sample needs `tables_per_rank * lookups_per_table` vectors from
+  // every rank; with the batch sharded evenly, rank i sends rank j the
+  // vectors for j's batch slice looked up in i's tables.
+  const double samples_per_rank =
+      static_cast<double>(config.batch_size) / config.ranks;
+  return samples_per_rank * config.tables_per_rank * config.lookups_per_table *
+         config.embedding_dim * 4.0;  // float32
+}
+
+DlrmReport evaluate_dlrm(const DlrmConfig& config,
+                         const std::function<double(double)>& alltoall_seconds) {
+  DlrmReport report;
+  report.shard_bytes = dlrm_shard_bytes(config);
+  report.alltoall_s = alltoall_seconds(report.shard_bytes);
+  // Forward activations + backward gradients: two exchanges per batch.
+  report.batches_per_second = 1.0 / (2.0 * report.alltoall_s);
+  return report;
+}
+
+}  // namespace a2a

@@ -1,0 +1,37 @@
+// DLRM-style embedding-exchange workload (§1 motivation).
+//
+// In model-parallel DLRM every rank owns a slice of the embedding tables;
+// each batch triggers an all-to-all exchanging looked-up embedding vectors.
+// This module sizes that collective and evaluates a schedule's step time and
+// the resulting lookups/second.
+#pragma once
+
+#include <functional>
+
+namespace a2a {
+
+struct DlrmConfig {
+  int ranks = 8;
+  int batch_size = 4096;          ///< samples per global batch.
+  int embedding_dim = 128;        ///< floats per embedding vector.
+  int tables_per_rank = 4;        ///< embedding tables sharded per rank.
+  int lookups_per_table = 1;      ///< pooled lookups per sample per table.
+};
+
+/// Per-rank all-to-all shard size in bytes for one batch: every rank sends
+/// each other rank the embedding vectors it looked up on that rank's tables.
+[[nodiscard]] double dlrm_shard_bytes(const DlrmConfig& config);
+
+struct DlrmReport {
+  double shard_bytes = 0.0;
+  double alltoall_s = 0.0;
+  double batches_per_second = 0.0;
+};
+
+/// Evaluates a schedule (via its simulator callback: shard bytes -> seconds
+/// for the collective) on the DLRM exchange. Two all-to-alls per batch
+/// (forward + backward).
+[[nodiscard]] DlrmReport evaluate_dlrm(const DlrmConfig& config,
+                                       const std::function<double(double)>& alltoall_seconds);
+
+}  // namespace a2a

@@ -1,0 +1,105 @@
+#include "workloads/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+namespace {
+
+/// Recursive mixed-radix Cooley–Tukey: n = r * m splits into r interleaved
+/// sub-DFTs of size m followed by twiddled butterflies of radix r.
+void fft_rec(Complex* data, int n, int stride, Complex* scratch) {
+  if (n == 1) return;
+  int radix = n;  // prime fallback: one naive stage
+  for (const int r : {2, 3, 5}) {
+    if (n % r == 0) {
+      radix = r;
+      break;
+    }
+  }
+  const int m = n / radix;
+  // Sub-DFTs over decimated inputs.
+  for (int r = 0; r < radix; ++r) {
+    fft_rec(data + r * stride, m, stride * radix, scratch);
+  }
+  // Combine with twiddles into scratch, then copy back.
+  const double base = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (int k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    const int km = k % m;
+    for (int r = 0; r < radix; ++r) {
+      // Element r of decimation, index km within its sub-DFT.
+      const Complex v = data[(km * radix + r) * stride];
+      const double angle = base * static_cast<double>((k * r) % n);
+      acc += v * Complex(std::cos(angle), std::sin(angle));
+    }
+    scratch[k] = acc;
+  }
+  for (int k = 0; k < n; ++k) data[k * stride] = scratch[k];
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data) {
+  if (data.size() <= 1) return;
+  std::vector<Complex> scratch(data.size());
+  fft_rec(data.data(), static_cast<int>(data.size()), 1, scratch.data());
+}
+
+void ifft(std::vector<Complex>& data) {
+  for (auto& v : data) v = std::conj(v);
+  fft(data);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v = std::conj(v) * inv;
+}
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& data) {
+  const int n = static_cast<int>(data.size());
+  std::vector<Complex> out(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (int j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * k * j / n;
+      acc += data[static_cast<std::size_t>(j)] *
+             Complex(std::cos(angle), std::sin(angle));
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+void fft_3d(std::vector<Complex>& grid, int nx, int ny, int nz) {
+  A2A_REQUIRE(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                      static_cast<std::size_t>(nz) ==
+                  grid.size(),
+              "grid size mismatch");
+  std::vector<Complex> line;
+  // X lines (contiguous).
+  std::vector<Complex> scratch(static_cast<std::size_t>(std::max({nx, ny, nz})));
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      Complex* base = grid.data() + (static_cast<std::size_t>(z) * ny + y) * nx;
+      fft_rec(base, nx, 1, scratch.data());
+    }
+  }
+  // Y lines (stride nx).
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      Complex* base = grid.data() + static_cast<std::size_t>(z) * ny * nx + x;
+      fft_rec(base, ny, nx, scratch.data());
+    }
+  }
+  // Z lines (stride nx*ny).
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      Complex* base = grid.data() + static_cast<std::size_t>(y) * nx + x;
+      fft_rec(base, nz, nx * ny, scratch.data());
+    }
+  }
+}
+
+}  // namespace a2a

@@ -1,0 +1,26 @@
+// Mixed-radix complex FFT — the compute kernel behind the §5.2 3D FFT
+// workload (the paper uses FFTW; we implement Cooley–Tukey for radices
+// 2, 3, 5 with a naive-DFT fallback for other prime factors).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace a2a {
+
+using Complex = std::complex<double>;
+
+/// In-place forward DFT of `data` (any length whose prime factors are
+/// handled recursively; non-{2,3,5} primes fall back to O(p^2) per factor).
+void fft(std::vector<Complex>& data);
+
+/// In-place inverse DFT (unscaled forward conjugate trick, then 1/n).
+void ifft(std::vector<Complex>& data);
+
+/// Reference O(n^2) DFT for testing.
+[[nodiscard]] std::vector<Complex> naive_dft(const std::vector<Complex>& data);
+
+/// 3D FFT of a dense nx*ny*nz grid (x fastest), single node.
+void fft_3d(std::vector<Complex>& grid, int nx, int ny, int nz);
+
+}  // namespace a2a

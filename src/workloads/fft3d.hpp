@@ -1,0 +1,48 @@
+// Distributed 3D FFT with slab decomposition — the §5.2 workload (Fig. 6).
+//
+// Each of N ranks owns nz/N planes. Three phases per the paper: (1) local
+// 2D FFTs + pack, (2) all-to-all, (3) unpack + local 1D FFTs. Two entry
+// points:
+//  * run_fft3d_local: executes the distributed algorithm in-memory (exact,
+//    used by tests to prove the decomposition computes the same transform
+//    as a single-node 3D FFT);
+//  * model_fft3d_time: Fig. 6's timing model — compute bands measured by
+//    actually running sample FFTs, the all-to-all band supplied by any of
+//    the schedule simulators.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "workloads/fft.hpp"
+
+namespace a2a {
+
+/// Exact distributed 3D FFT (slab decomposition over `ranks`); grid is
+/// n*n*n with x fastest. Requires n % ranks == 0. Returns the transform.
+[[nodiscard]] std::vector<Complex> run_fft3d_local(std::vector<Complex> grid,
+                                                   int n, int ranks);
+
+/// Per-rank all-to-all buffer size (bytes) of the slab transpose for an
+/// n^3 complex-double grid on `ranks` ranks.
+[[nodiscard]] double fft3d_alltoall_buffer_bytes(int n, int ranks);
+
+struct Fft3dTimeBreakdown {
+  double fft2d_pack_s = 0.0;
+  double alltoall_s = 0.0;
+  double unpack_fft1d_s = 0.0;
+  [[nodiscard]] double total() const {
+    return fft2d_pack_s + alltoall_s + unpack_fft1d_s;
+  }
+};
+
+/// Models the distributed 3D FFT time. `alltoall_seconds(total_bytes)` must
+/// return the collective's completion time for the given per-rank buffer
+/// size (plug in any schedule simulator). Compute bands are calibrated by
+/// running real FFTs on a `sample_n`-sized grid and scaling by n^3 log n /
+/// threads.
+[[nodiscard]] Fft3dTimeBreakdown model_fft3d_time(
+    int n, int ranks, int threads_per_rank,
+    const std::function<double(double)>& alltoall_seconds, int sample_n = 64);
+
+}  // namespace a2a

@@ -1,0 +1,87 @@
+// Fig. 2 host-bottleneck augmentation: reproduces the paper's exact numbers
+// for the 3x3x3 torus with 100 Gbps hosts on 6x25 Gbps NICs (F = 2/27 and
+// the 6.01 GB/s upper bound, §5.2).
+#include "graph/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+#include "mcf/fleischer.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Augment, ShapeOfAugmentedGraph) {
+  const DiGraph ring = make_ring(4);
+  const AugmentedGraph aug = augment_host_bottleneck(ring, 2.0);
+  EXPECT_EQ(aug.graph.num_nodes(), 12);
+  EXPECT_EQ(aug.graph.num_edges(), 2 * 4 + ring.num_edges());
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_TRUE(aug.is_host(aug.host(u)));
+    EXPECT_FALSE(aug.is_host(aug.nic_in(u)));
+    // host -> nic_out and nic_in -> host links carry the host capacity.
+    const EdgeId out = aug.graph.find_edge(aug.host(u), aug.nic_out(u));
+    ASSERT_GE(out, 0);
+    EXPECT_DOUBLE_EQ(aug.graph.edge(out).capacity, 2.0);
+  }
+  EXPECT_TRUE(is_strongly_connected(aug.graph));
+}
+
+TEST(Augment, ForcesTrafficThroughHost) {
+  // In the augmented graph the only way from nic_in(u) onward is via
+  // host(u): nic_in has exactly one outgoing edge.
+  const DiGraph torus = make_torus({3, 3, 3});
+  const AugmentedGraph aug = augment_host_bottleneck(torus, 4.0);
+  for (NodeId u = 0; u < 27; ++u) {
+    EXPECT_EQ(aug.graph.out_degree(aug.nic_in(u)), 1);
+    EXPECT_EQ(aug.graph.edge(aug.graph.out_edges(aug.nic_in(u))[0]).to,
+              aug.host(u));
+  }
+}
+
+TEST(Augment, Ring4WithUnitHostBandwidthExact) {
+  // Hand-derived: host-out load (3 + 1 forwarded) * F <= 1 -> F = 1/4.
+  const DiGraph ring = make_ring(4);
+  const AugmentedGraph aug = augment_host_bottleneck(ring, 1.0);
+  std::vector<NodeId> hosts;
+  for (NodeId u = 0; u < 4; ++u) hosts.push_back(aug.host(u));
+  const auto sol = solve_master_lp(aug.graph, hosts);
+  EXPECT_NEAR(sol.concurrent_flow, 0.25, 1e-6);
+}
+
+TEST(Augment, PaperTorusAnchorTwoTwentySevenths) {
+  // §5.2: "The flow value produced by MCF on this bottlenecked 3D Torus
+  // topology is f = 2/27". 100 Gbps host / 25 Gbps links -> capacity 4.
+  const DiGraph torus = make_torus({3, 3, 3});
+  const AugmentedGraph aug = augment_host_bottleneck(torus, 4.0);
+  std::vector<NodeId> hosts;
+  for (NodeId u = 0; u < 27; ++u) hosts.push_back(aug.host(u));
+  FleischerOptions options;
+  options.epsilon = 0.02;
+  const auto sol = fleischer_grouped(aug.graph, hosts, options);
+  const double expected = 2.0 / 27.0;
+  EXPECT_LE(sol.concurrent_flow, expected + 1e-6);
+  EXPECT_GE(sol.concurrent_flow, expected * 0.94);
+  // Upper-bound throughput (N-1) f b = 6.01 GB/s at b = 3.125 GB/s.
+  EXPECT_NEAR(26 * expected * 3.125, 6.01, 0.02);
+}
+
+TEST(Augment, NoBottleneckWhenHostCapacityExceedsDegree) {
+  // Q3 (degree 3) with host capacity 4 (100 Gbps vs 75 Gbps NIC): the
+  // bottleneck links don't bind, F stays 1/4.
+  const DiGraph q3 = make_hypercube(3);
+  const AugmentedGraph aug = augment_host_bottleneck(q3, 4.0);
+  std::vector<NodeId> hosts;
+  for (NodeId u = 0; u < 8; ++u) hosts.push_back(aug.host(u));
+  const auto sol = solve_master_lp(aug.graph, hosts);
+  EXPECT_NEAR(sol.concurrent_flow, 0.25, 1e-5);
+}
+
+TEST(Augment, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(augment_host_bottleneck(make_ring(4), 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace a2a

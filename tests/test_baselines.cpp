@@ -1,0 +1,161 @@
+// Baselines (§5.2/§5.3): each produces valid routes and ranks against the
+// MCF optimum exactly the way the paper reports.
+#include <gtest/gtest.h>
+
+#include "baselines/dor.hpp"
+#include "baselines/ewsp.hpp"
+#include "baselines/ilp_disjoint.hpp"
+#include "baselines/native_p2p.hpp"
+#include "baselines/sssp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+#include "mcf/path_mcf.hpp"
+
+namespace a2a {
+namespace {
+
+void check_plan(const DiGraph& g, const SingleRoutePlan& plan) {
+  ASSERT_EQ(plan.commodities.size(), plan.routes.size());
+  for (std::size_t k = 0; k < plan.routes.size(); ++k) {
+    EXPECT_TRUE(path_is_valid(g, plan.routes[k], plan.commodities[k].first,
+                              plan.commodities[k].second));
+  }
+}
+
+TEST(Baselines, SsspRoutesValidAndAboveOptimum) {
+  const DiGraph g = make_torus({3, 3});
+  const auto plan = sssp_routes(g, all_nodes(g));
+  check_plan(g, plan);
+  const double f = solve_master_lp(g, all_nodes(g)).concurrent_flow;
+  EXPECT_GE(plan.max_link_load(g), 1.0 / f - 1e-6);  // single-path >= optimum
+}
+
+TEST(Baselines, DorIsBandwidthOptimalOnTorus333) {
+  // §5.2: DOR is theoretically bandwidth optimal on the 3D torus.
+  const DiGraph g = make_torus({3, 3, 3});
+  const auto plan = dor_routes(g, {3, 3, 3}, true);
+  check_plan(g, plan);
+  EXPECT_NEAR(plan.max_link_load(g), 9.0, 1e-9);  // == 1/F with F = 1/9
+}
+
+TEST(Baselines, DorRejectsWrongGraph) {
+  EXPECT_THROW(dor_routes(make_ring(6), {3, 3}, true), InvalidArgument);
+}
+
+TEST(Baselines, DorOnMesh) {
+  const DiGraph g = make_mesh({3, 3});
+  const auto plan = dor_routes(g, {3, 3}, false);
+  check_plan(g, plan);
+}
+
+TEST(Baselines, EwspLoadMatchesPathSetEvaluation) {
+  const DiGraph g = make_hypercube(3);
+  const double dp_load = ewsp_max_link_load(g, all_nodes(g));
+  // Cross-check with the explicit enumeration (Q3 has few shortest paths).
+  const PathSet set = ewsp_path_set(g, all_nodes(g), 64);
+  std::vector<std::vector<double>> equal_weights;
+  for (const auto& cands : set.candidates) {
+    equal_weights.emplace_back(cands.size(), 1.0);
+  }
+  EXPECT_NEAR(dp_load, max_link_load(g, set, equal_weights), 1e-9);
+}
+
+TEST(Baselines, EwspOptimalOnEdgeTransitiveButNotExpanders) {
+  // §5.2/5.3: EwSP is good on the symmetric testbed topologies but
+  // suboptimal on expanders.
+  const DiGraph torus = make_torus({3, 3, 3});
+  EXPECT_NEAR(ewsp_max_link_load(torus, all_nodes(torus)), 9.0, 1e-9);
+  const DiGraph gk = make_generalized_kautz(16, 3);
+  const double f = solve_master_lp(gk, all_nodes(gk)).concurrent_flow;
+  EXPECT_GT(ewsp_max_link_load(gk, all_nodes(gk)), 1.0 / f + 1e-6);
+}
+
+TEST(Baselines, NativeP2pDeterministicAndValid) {
+  const DiGraph g = make_torus({3, 3});
+  const auto a = native_p2p_routes(g, all_nodes(g));
+  const auto b = native_p2p_routes(g, all_nodes(g));
+  check_plan(g, a);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i], b.routes[i]);
+  }
+  // Single-path without balancing: at least as loaded as SSSP.
+  const auto sssp = sssp_routes(g, all_nodes(g));
+  EXPECT_GE(a.max_link_load(g), sssp.max_link_load(g) - 1e-9);
+}
+
+TEST(Baselines, IlpBeatsItsGreedyLowerBoundStructure) {
+  const DiGraph g = make_torus({3, 3, 3});
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  IlpOptions options;
+  options.lower_bound = 9.0;  // 1/F
+  options.time_limit_s = 20.0;
+  const auto result = ilp_single_path(g, set, options);
+  check_plan(g, result.plan);
+  // ILP-disjoint is a strong baseline on the torus (§5.2): within 15% of
+  // the bound.
+  EXPECT_LE(result.max_load, 9.0 * 1.15);
+  EXPECT_GE(result.max_load, 9.0 - 1e-9);
+}
+
+TEST(Baselines, IlpExactOnTinyInstanceByBruteForce) {
+  const DiGraph g = make_ring(4);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  IlpOptions options;
+  options.time_limit_s = 5.0;
+  options.restarts = 16;
+  const auto result = ilp_single_path(g, set, options);
+  // Brute force over all assignments (2 candidates per opposite pair).
+  double best = 1e18;
+  std::vector<int> choice(set.candidates.size(), 0);
+  std::function<void(std::size_t)> rec = [&](std::size_t k) {
+    if (k == set.candidates.size()) {
+      std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+      for (std::size_t i = 0; i < choice.size(); ++i) {
+        for (const EdgeId e : set.candidates[i][static_cast<std::size_t>(choice[i])]) {
+          load[static_cast<std::size_t>(e)] += 1.0;
+        }
+      }
+      double peak = 0;
+      for (const double l : load) peak = std::max(peak, l);
+      best = std::min(best, peak);
+      return;
+    }
+    for (std::size_t p = 0; p < set.candidates[k].size(); ++p) {
+      choice[k] = static_cast<int>(p);
+      rec(k + 1);
+    }
+  };
+  rec(0);
+  EXPECT_NEAR(result.max_load, best, 1e-9);
+}
+
+TEST(Baselines, IlpToleranceStopsEarly) {
+  const DiGraph g = make_hypercube(3);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  IlpOptions options;
+  options.lower_bound = 4.0;
+  options.tolerance = 0.5;  // generous: greedy already qualifies
+  const auto result = ilp_single_path(g, set, options);
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_LE(result.max_load, 4.0 * 1.5 + 1e-6);
+}
+
+TEST(Baselines, RankingMatchesPaperOnGenKautz) {
+  // Fig. 8's ordering at one size: MCF <= pMCF-disjoint <= SSSP and EwSP
+  // clearly above MCF.
+  const DiGraph g = make_generalized_kautz(16, 4);
+  const std::vector<NodeId> nodes = all_nodes(g);
+  const double t_mcf = 1.0 / solve_master_lp(g, nodes).concurrent_flow;
+  const double t_pmcf =
+      1.0 / solve_path_mcf_exact(g, build_disjoint_path_set(g, nodes)).concurrent_flow;
+  const double t_sssp = sssp_routes(g, nodes).max_link_load(g);
+  const double t_ewsp = ewsp_max_link_load(g, nodes);
+  EXPECT_LE(t_mcf, t_pmcf + 1e-6);
+  EXPECT_LE(t_pmcf, t_sssp + 1e-6);
+  EXPECT_GT(t_ewsp, t_mcf - 1e-6);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,81 @@
+// Theorem 1 bounds (§5.4).
+#include "mcf/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Bounds, HandComputedTimeBounds) {
+  // time LB = total pairwise distance / total capacity (when it dominates).
+  EXPECT_NEAR(alltoall_time_lower_bound(make_hypercube(3)), 96.0 / 24.0, 1e-9);
+  EXPECT_NEAR(alltoall_time_lower_bound(make_torus({3, 3, 3})), 1458.0 / 162.0,
+              1e-9);
+  EXPECT_NEAR(alltoall_time_lower_bound(make_complete_bipartite(4, 4)),
+              80.0 / 32.0, 1e-9);
+}
+
+TEST(Bounds, InjectionBoundDominatesOnStar) {
+  // Complete graph has distance bound (N-1)*N... the injection bound
+  // (N-1)/d = 1 equals the aggregate bound; on a low-degree node it rules.
+  DiGraph g(3);
+  g.add_bidi_edge(0, 1);
+  g.add_bidi_edge(1, 2);
+  // Node 0 has out-capacity 1, N-1 = 2 -> injection bound 2; aggregate
+  // bound = (1+2+1+1+2+1)/4 = 2. Equal here; with capacity 0.5 on one link
+  // the injection bound dominates.
+  const double lb = alltoall_time_lower_bound(g);
+  EXPECT_NEAR(lb, 2.0, 1e-9);
+}
+
+TEST(Bounds, UpperBoundsExactMcf) {
+  for (const auto& g :
+       {make_ring(6), make_hypercube(3), make_complete_bipartite(3, 3),
+        make_generalized_kautz(12, 3), make_torus({3, 3})}) {
+    const double f_ub = concurrent_flow_upper_bound(g);
+    const double f = solve_master_lp(g, all_nodes(g)).concurrent_flow;
+    EXPECT_LE(f, f_ub + 1e-6) << g.summary();
+  }
+}
+
+TEST(Bounds, BoundTightOnEdgeTransitiveGraphs) {
+  for (const auto& g : {make_hypercube(3), make_torus({3, 3, 3})}) {
+    const double f_ub = concurrent_flow_upper_bound(g);
+    const double f = solve_master_lp(g, all_nodes(g)).concurrent_flow;
+    EXPECT_NEAR(f, f_ub, 1e-5) << g.summary();
+  }
+}
+
+TEST(Bounds, RegularTimeBoundClosedForm) {
+  // d-ary arborescence distance sum over d: for N=1+d+d^2 (full 2-level
+  // tree), sum = d*1 + d^2*2, bound = (d + 2 d^2)/d = 1 + 2d.
+  EXPECT_NEAR(regular_graph_time_bound(1 + 3 + 9, 3), 7.0, 1e-9);
+  EXPECT_NEAR(regular_graph_time_bound(1 + 2 + 4, 2), 5.0, 1e-9);
+  // Partial last level: N=5, d=2: levels 1(x2@1), 2(x2@2): sum=2+4 -> /2 = 3.
+  EXPECT_NEAR(regular_graph_time_bound(5, 2), 3.0, 1e-9);
+}
+
+TEST(Bounds, RegularBoundLowerBoundsActualTopologies) {
+  // No d-regular topology can beat the arborescence bound.
+  for (const int n : {8, 12, 16, 24}) {
+    const DiGraph g = make_generalized_kautz(n, 3);
+    const double ideal = regular_graph_time_bound(n, 3);
+    const double actual = alltoall_time_lower_bound(g);
+    EXPECT_GE(actual, ideal - 1e-9) << n;
+  }
+}
+
+TEST(Bounds, GenKautzApproachesRegularBound) {
+  // Fig. 10 (left): GenKautz tracks the lower bound closely.
+  const int n = 96, d = 4;
+  const DiGraph g = make_generalized_kautz(n, d);
+  const double ideal = regular_graph_time_bound(n, d);
+  const double actual = alltoall_time_lower_bound(g);
+  EXPECT_LE(actual / ideal, 1.35);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,72 @@
+#include "schedule/chunking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a2a {
+namespace {
+
+TEST(Chunking, SnapSumsToOneExactly) {
+  const auto fracs = snap_to_unit_fractions({0.3333, 0.3333, 0.3334});
+  Rational sum(0);
+  for (const auto& f : fracs) sum += f;
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(Chunking, SnapPreservesObviousRatios) {
+  const auto fracs = snap_to_unit_fractions({0.5, 0.25, 0.25});
+  EXPECT_EQ(fracs[0], Rational(1, 2));
+  EXPECT_EQ(fracs[1], Rational(1, 4));
+  EXPECT_EQ(fracs[2], Rational(1, 4));
+}
+
+TEST(Chunking, SnapNormalizesArbitraryScale) {
+  // MCF rates are in flow units, not fractions; snapping normalizes.
+  const auto fracs = snap_to_unit_fractions({2.0, 1.0, 1.0});
+  EXPECT_EQ(fracs[0], Rational(1, 2));
+}
+
+TEST(Chunking, TinyWeightsDropped) {
+  ChunkingOptions options;
+  options.min_fraction = 1e-3;
+  const auto fracs = snap_to_unit_fractions({1.0, 1e-7}, options);
+  EXPECT_EQ(fracs[1], Rational(0));
+  EXPECT_EQ(fracs[0], Rational(1));
+}
+
+TEST(Chunking, RejectsDegenerateInput) {
+  EXPECT_THROW(snap_to_unit_fractions({}), InvalidArgument);
+  EXPECT_THROW(snap_to_unit_fractions({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(snap_to_unit_fractions({-1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Chunking, HcfDividesEveryFraction) {
+  const auto fracs = snap_to_unit_fractions({0.5, 0.3, 0.2});
+  const Rational h = fractions_hcf(fracs);
+  for (const auto& f : fracs) {
+    if (f.is_zero()) continue;
+    EXPECT_EQ((f / h).den(), 1);
+  }
+}
+
+TEST(Chunking, HcfAcrossCommodities) {
+  const std::vector<std::vector<Rational>> sets = {
+      snap_to_unit_fractions({0.5, 0.5}),
+      snap_to_unit_fractions({0.75, 0.25}),
+  };
+  const Rational h = fractions_hcf(sets);
+  EXPECT_EQ(h, Rational(1, 4));
+}
+
+TEST(Chunking, ChunkCountsStayModest) {
+  // The §4 lowering divides each shard into 1/HCF chunks; the fixed-grid
+  // snap bounds that by max_denominator even for awkward LP outputs.
+  const auto fracs =
+      snap_to_unit_fractions({0.123456, 0.234567, 0.345678, 0.296299});
+  const Rational h = fractions_hcf(fracs);
+  const Rational chunks = Rational(1) / h;
+  EXPECT_EQ(chunks.den(), 1);
+  EXPECT_LE(chunks.num(), 7560);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,92 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a2a {
+namespace {
+
+TEST(DiGraph, AddAndQueryEdges) {
+  DiGraph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).from, 0);
+  EXPECT_EQ(g.edge(e).to, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 2.5);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  EXPECT_EQ(g.find_edge(1, 0), -1);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+}
+
+TEST(DiGraph, RejectsBadEdges) {
+  DiGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), InvalidArgument);   // self loop
+  EXPECT_THROW(g.add_edge(0, 5), InvalidArgument);   // out of range
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), InvalidArgument);
+}
+
+TEST(DiGraph, BidiAddsBothArcs) {
+  DiGraph g(2);
+  g.add_bidi_edge(0, 1, 1.5);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_GE(g.find_edge(0, 1), 0);
+  EXPECT_GE(g.find_edge(1, 0), 0);
+}
+
+TEST(DiGraph, ParallelEdgesAllowed) {
+  DiGraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(DiGraph, SetCapacity) {
+  DiGraph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  g.set_capacity(e, 7.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 7.0);
+  EXPECT_THROW(g.set_capacity(e, -1.0), InvalidArgument);
+}
+
+TEST(DiGraph, WithoutEdges) {
+  DiGraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const DiGraph h = g.without_edges({a});
+  EXPECT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(h.edge(0).from, 1);
+  EXPECT_EQ(h.edge(0).to, 2);
+}
+
+TEST(DiGraph, WithoutNodesRemapsDensely) {
+  DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<NodeId> remap;
+  const DiGraph h = g.without_nodes({1}, &remap);
+  EXPECT_EQ(h.num_nodes(), 3);
+  EXPECT_EQ(h.num_edges(), 1);  // only 2->3 survives
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], -1);
+  EXPECT_EQ(remap[2], 1);
+  EXPECT_EQ(remap[3], 2);
+}
+
+TEST(DiGraph, MaxOutDegreeAndRegularity) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.max_out_degree(), 2);
+  EXPECT_FALSE(g.is_regular(2));
+}
+
+TEST(DiGraph, Summary) {
+  DiGraph g(5);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.summary(), "DiGraph(N=5, E=1)");
+}
+
+}  // namespace
+}  // namespace a2a

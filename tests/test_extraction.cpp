@@ -1,0 +1,138 @@
+// Widest-path extraction and flow post-processing (§3.2.1 / §3.1.1).
+#include "mcf/extraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Extraction, CancelCyclesRemovesPureCirculation) {
+  const DiGraph g = make_ring(4);  // bidirectional
+  std::vector<double> flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  // Put 1 unit on the directed cycle 0->1->2->3->0.
+  for (int i = 0; i < 4; ++i) {
+    const EdgeId e = g.find_edge(i, (i + 1) % 4);
+    flow[static_cast<std::size_t>(e)] = 1.0;
+  }
+  cancel_cycles(g, flow);
+  for (const double f : flow) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(Extraction, CancelCyclesPreservesAcyclicFlow) {
+  DiGraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(1, 2);
+  std::vector<double> flow{0.7, 0.7};
+  cancel_cycles(g, flow);
+  EXPECT_DOUBLE_EQ(flow[static_cast<std::size_t>(a)], 0.7);
+  EXPECT_DOUBLE_EQ(flow[static_cast<std::size_t>(b)], 0.7);
+}
+
+TEST(Extraction, WidestPathsDecreasingAndConserving) {
+  // Diamond: 0->1->3 carries 0.6, 0->2->3 carries 0.4.
+  DiGraph g(4);
+  const EdgeId a1 = g.add_edge(0, 1);
+  const EdgeId a2 = g.add_edge(1, 3);
+  const EdgeId b1 = g.add_edge(0, 2);
+  const EdgeId b2 = g.add_edge(2, 3);
+  std::vector<double> flow(4, 0.0);
+  flow[static_cast<std::size_t>(a1)] = flow[static_cast<std::size_t>(a2)] = 0.6;
+  flow[static_cast<std::size_t>(b1)] = flow[static_cast<std::size_t>(b2)] = 0.4;
+  const auto paths = extract_widest_paths(g, 0, 3, flow);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NEAR(paths[0].weight, 0.6, 1e-9);  // widest first (§3.2.1 step 4)
+  EXPECT_NEAR(paths[1].weight, 0.4, 1e-9);
+  EXPECT_GE(paths[0].weight, paths[1].weight);
+}
+
+TEST(Extraction, TargetStopsEarly) {
+  DiGraph g(2);
+  g.add_edge(0, 1);
+  const auto paths = extract_widest_paths(g, 0, 1, {1.0}, 0.3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].weight, 0.3, 1e-9);
+}
+
+TEST(Extraction, PruneRestoresExactConservation) {
+  // Flow with surplus near the source (allowed by the relaxed constraint 3).
+  DiGraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  std::vector<double> flow(3, 0.0);
+  flow[static_cast<std::size_t>(a)] = 0.9;  // more than forwarded
+  flow[static_cast<std::size_t>(b)] = 0.5;
+  flow[2] = 0.1;
+  const auto pruned = prune_to_exact_flow(g, 0, 2, flow, 0.6);
+  double in1 = pruned[static_cast<std::size_t>(a)];
+  double out1 = pruned[static_cast<std::size_t>(b)];
+  EXPECT_NEAR(in1, out1, 1e-9);
+  EXPECT_NEAR(pruned[static_cast<std::size_t>(b)] + pruned[2], 0.6, 1e-9);
+  EXPECT_THROW(prune_to_exact_flow(g, 0, 2, flow, 0.7), InvalidArgument);
+}
+
+TEST(Extraction, ExtractionOfMcfSolutionDeliversF) {
+  const DiGraph g = make_hypercube(3);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  for (int k = 0; k < sol.pairs.count(); ++k) {
+    const auto [s, d] = sol.pairs.nodes(k);
+    const auto paths = extract_widest_paths(
+        g, s, d, sol.per_commodity[static_cast<std::size_t>(k)],
+        sol.concurrent_flow);
+    double total = 0;
+    for (const auto& p : paths) {
+      EXPECT_TRUE(path_is_valid(g, p.path, s, d));
+      total += p.weight;
+    }
+    EXPECT_NEAR(total, sol.concurrent_flow, 1e-6);
+  }
+}
+
+TEST(Extraction, SplitSourceFlowDeliversAllSinks) {
+  const DiGraph g = make_torus({3, 3});
+  const auto master = solve_master_lp(g, all_nodes(g));
+  const double F = master.concurrent_flow;
+  for (int si = 0; si < g.num_nodes(); ++si) {
+    std::vector<NodeId> sinks;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u != si) sinks.push_back(u);
+    }
+    const auto split = split_source_flow(
+        g, si, sinks, master.per_source[static_cast<std::size_t>(si)], F);
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      EXPECT_NEAR(split.delivered[i], F, 1e-6)
+          << "source " << si << " sink " << sinks[i];
+      // Per-sink flow is a valid path flow of that amount.
+      double arrived = 0;
+      for (const EdgeId e : g.in_edges(sinks[i])) {
+        arrived += split.per_sink_flow[i][static_cast<std::size_t>(e)];
+      }
+      EXPECT_NEAR(arrived, split.delivered[i], 1e-6);
+    }
+    // Splits stay within the master's per-source budget.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      double used = 0;
+      for (std::size_t i = 0; i < sinks.size(); ++i) {
+        used += split.per_sink_flow[i][static_cast<std::size_t>(e)];
+      }
+      EXPECT_LE(used, master.per_source[static_cast<std::size_t>(si)]
+                              [static_cast<std::size_t>(e)] +
+                          1e-6);
+    }
+  }
+}
+
+TEST(Extraction, SplitSourceFlowPartialWhenCapacityShort) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto split = split_source_flow(g, 0, {1, 2}, {0.5, 0.25}, 1.0);
+  EXPECT_NEAR(split.delivered[0], 0.5, 1e-9);
+  EXPECT_NEAR(split.delivered[1], 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace a2a

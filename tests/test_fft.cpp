@@ -1,0 +1,141 @@
+#include "workloads/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "workloads/fft3d.hpp"
+
+namespace a2a {
+namespace {
+
+std::vector<Complex> random_signal(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  return out;
+}
+
+double max_error(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double err = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+class FftLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftLengths, MatchesNaiveDft) {
+  const int n = GetParam();
+  auto signal = random_signal(n, static_cast<std::uint64_t>(n));
+  const auto expected = naive_dft(signal);
+  fft(signal);
+  EXPECT_LT(max_error(signal, expected), 1e-8 * n) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(MixedRadix, FftLengths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15,
+                                           16, 18, 20, 24, 25, 27, 30, 36, 45,
+                                           7, 11, 14, 21));
+
+TEST(Fft, InverseRoundTrip) {
+  for (const int n : {8, 12, 27, 30}) {
+    const auto original = random_signal(n, 77);
+    auto data = original;
+    fft(data);
+    ifft(data);
+    EXPECT_LT(max_error(data, original), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const int n = 24;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  std::vector<Complex> sum(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sum[static_cast<std::size_t>(i)] =
+        2.0 * a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+  }
+  auto fa = a, fb = b, fsum = sum;
+  fft(fa);
+  fft(fb);
+  fft(fsum);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(fsum[static_cast<std::size_t>(i)] -
+                       (2.0 * fa[static_cast<std::size_t>(i)] +
+                        fb[static_cast<std::size_t>(i)])),
+              1e-10);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const int n = 36;
+  auto signal = random_signal(n, 5);
+  double time_energy = 0;
+  for (const auto& v : signal) time_energy += std::norm(v);
+  fft(signal);
+  double freq_energy = 0;
+  for (const auto& v : signal) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-8 * n);
+}
+
+TEST(Fft3d, MatchesPerAxisNaive) {
+  const int n = 6;
+  auto grid = random_signal(n * n * n, 9);
+  auto expected = grid;
+  // Reference: naive DFT along each axis.
+  auto axis_dft = [&](std::vector<Complex>& g, int stride, int count, int reps,
+                      int block) {
+    for (int r = 0; r < reps; ++r) {
+      for (int b = 0; b < block; ++b) {
+        std::vector<Complex> line(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          line[static_cast<std::size_t>(i)] =
+              g[static_cast<std::size_t>(r) * count * block + i * block + b];
+        }
+        const auto out = naive_dft(line);
+        for (int i = 0; i < count; ++i) {
+          g[static_cast<std::size_t>(r) * count * block + i * block + b] =
+              out[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    (void)stride;
+  };
+  axis_dft(expected, 1, n, n * n, 1);      // x lines
+  axis_dft(expected, n, n, n, n);          // y lines
+  axis_dft(expected, n * n, n, 1, n * n);  // z lines
+  fft_3d(grid, n, n, n);
+  EXPECT_LT(max_error(grid, expected), 1e-8);
+}
+
+class DistributedFft : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedFft, SlabDecompositionMatchesSingleNode) {
+  const int ranks = GetParam();
+  const int n = 12;  // divisible by 2, 3, 4, 6
+  const auto grid = random_signal(n * n * n, 13);
+  auto reference = grid;
+  fft_3d(reference, n, n, n);
+  const auto distributed = run_fft3d_local(grid, n, ranks);
+  EXPECT_LT(max_error(distributed, reference), 1e-8) << "ranks=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedFft, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Fft3d, BufferBytesMatchPaperScale) {
+  // §5.2: grid width 1296 on 27 ranks -> ~1.29 GB all-to-all buffers.
+  EXPECT_NEAR(fft3d_alltoall_buffer_bytes(1296, 27) / 1e9, 1.29, 0.02);
+}
+
+TEST(Fft3d, TimeModelScalesWithGrid) {
+  auto zero_comm = [](double) { return 0.0; };
+  const auto small = model_fft3d_time(128, 27, 32, zero_comm, 32);
+  const auto large = model_fft3d_time(256, 27, 32, zero_comm, 32);
+  EXPECT_GT(large.total(), small.total() * 6);  // ~8x elements + log factor
+  const auto with_comm =
+      model_fft3d_time(128, 27, 32, [](double bytes) { return bytes / 1e9; }, 32);
+  EXPECT_GT(with_comm.alltoall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace a2a

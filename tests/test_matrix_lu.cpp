@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+#include "common/random.hpp"
+#include "lp/lu.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  std::vector<double> x{1, 1, 1}, y;
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+  std::vector<double> z;
+  m.multiply_transpose(y, z);
+  EXPECT_DOUBLE_EQ(z[0], 6 + 60);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  std::vector<double> x{3, -1, 2}, y;
+  id.multiply(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  LuFactorization lu(a);
+  std::vector<double> b{5, 10};
+  lu.solve(b);  // x = (1, 3)
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveTransposeConsistent) {
+  Rng rng(4);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() - 0.5;
+    a(i, i) += 3.0;  // diagonally dominant -> well conditioned
+  }
+  LuFactorization lu(a);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.next_double();
+  // Compute b = A^T x, then solve A^T y = b; expect y == x.
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[j] += a(i, j) * x[i];
+  }
+  lu.solve_transpose(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-9);
+}
+
+TEST(Lu, InvertProducesInverse) {
+  Rng rng(5);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() - 0.5;
+    a(i, i) += 2.0;
+  }
+  LuFactorization lu(a);
+  Matrix inv;
+  lu.invert(inv);
+  // a * inv == I.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(i, k) * inv(k, j);
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  LuFactorization lu(a);
+  std::vector<double> b{2, 3};
+  lu.solve(b);  // swap: x = (3, 2)
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization lu(a), SolverError);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,138 @@
+// Exact link-based MCF (§3.1.1) against hand-derived optima and feasibility
+// invariants. The anchors follow from the capacity/distance bound
+// F <= E / (N * total pairwise distance) being tight on edge-transitive
+// graphs:
+//   ring(4) F = 1/2, complete(4) F = 1, Q3 F = 1/4, K4,4 F = 2/5,
+//   3x3x3 torus F = 1/9 (quoted directly in §5.2 of the paper).
+#include "mcf/concurrent_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+
+namespace a2a {
+namespace {
+
+void check_feasible(const DiGraph& g, const LinkFlowSolution& sol) {
+  const double F = sol.concurrent_flow;
+  // Capacity.
+  const auto total = sol.total_edge_flow(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(total[static_cast<std::size_t>(e)], g.edge(e).capacity + 1e-6);
+  }
+  for (int k = 0; k < sol.pairs.count(); ++k) {
+    const auto [s, d] = sol.pairs.nodes(k);
+    const auto& flow = sol.per_commodity[static_cast<std::size_t>(k)];
+    // Conservation at intermediate nodes (within LP slack direction).
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == s || u == d) continue;
+      double in = 0, out = 0;
+      for (const EdgeId e : g.in_edges(u)) in += flow[static_cast<std::size_t>(e)];
+      for (const EdgeId e : g.out_edges(u)) out += flow[static_cast<std::size_t>(e)];
+      EXPECT_LE(out, in + 1e-6) << "commodity " << s << "->" << d << " node " << u;
+    }
+    // Demand.
+    double delivered = 0;
+    for (const EdgeId e : g.in_edges(d)) delivered += flow[static_cast<std::size_t>(e)];
+    EXPECT_GE(delivered, F - 1e-6);
+  }
+}
+
+TEST(LinkMcf, RingOfFour) {
+  const DiGraph g = make_ring(4);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 0.5, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, CompleteGraph) {
+  const DiGraph g = make_complete(4);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 1.0, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, HypercubeQ3) {
+  const DiGraph g = make_hypercube(3);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 0.25, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, CompleteBipartiteK44) {
+  const DiGraph g = make_complete_bipartite(4, 4);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 0.4, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, TwistedHypercubeAtLeastHypercube) {
+  const DiGraph q3 = make_hypercube(3);
+  const DiGraph tq3 = make_twisted_hypercube(3);
+  const double fq = solve_link_mcf_exact(q3, all_nodes(q3)).concurrent_flow;
+  const double ft = solve_link_mcf_exact(tq3, all_nodes(tq3)).concurrent_flow;
+  // The twist shortens average distance, so the optimum cannot be worse.
+  EXPECT_GE(ft, fq - 1e-6);
+}
+
+TEST(LinkMcf, CapacityScalesLinearly) {
+  DiGraph g = make_ring(4);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) g.set_capacity(e, 2.0);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 1.0, 1e-6);
+}
+
+TEST(LinkMcf, DirectedRingHasOneWayFlows) {
+  // Unidirectional 4-ring: distances 1+2+3 per node, total 24, E=4 ->
+  // F = 4/24 = 1/6.
+  DiGraph g(4);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, (i + 1) % 4);
+  const auto sol = solve_link_mcf_exact(g, all_nodes(g));
+  EXPECT_NEAR(sol.concurrent_flow, 1.0 / 6.0, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, TerminalSubset) {
+  // Only two terminals on a 6-ring: two edge-disjoint routes of capacity 1
+  // each between opposite nodes -> F = 2.
+  const DiGraph g = make_ring(6);
+  const auto sol = solve_link_mcf_exact(g, {0, 3});
+  EXPECT_NEAR(sol.concurrent_flow, 2.0, 1e-6);
+  check_feasible(g, sol);
+}
+
+TEST(LinkMcf, TerminalPairsIndexing) {
+  TerminalPairs pairs(std::vector<NodeId>{3, 7, 9});
+  EXPECT_EQ(pairs.count(), 6);
+  for (int i = 0; i < pairs.count(); ++i) {
+    const auto [si, di] = pairs.terminal_indices(i);
+    EXPECT_EQ(pairs.index(si, di), i);
+    EXPECT_NE(si, di);
+  }
+  EXPECT_EQ(pairs.nodes(pairs.index(0, 2)).first, 3);
+  EXPECT_EQ(pairs.nodes(pairs.index(0, 2)).second, 9);
+}
+
+/// Property sweep: the master (grouped) LP must report the same F as the
+/// full per-commodity LP (§3.1.2's claim of equal optimal value).
+class MasterEqualsFull : public ::testing::TestWithParam<int> {};
+
+TEST_P(MasterEqualsFull, SameOptimum) {
+  DiGraph g;
+  switch (GetParam()) {
+    case 0: g = make_ring(5); break;
+    case 1: g = make_hypercube(3); break;
+    case 2: g = make_complete_bipartite(3, 3); break;
+    case 3: g = make_generalized_kautz(9, 2); break;
+    case 4: g = make_torus({3, 3}); break;
+    default: g = make_complete(5); break;
+  }
+  const double f_full = solve_link_mcf_exact(g, all_nodes(g)).concurrent_flow;
+  const double f_master = solve_master_lp(g, all_nodes(g)).concurrent_flow;
+  EXPECT_NEAR(f_full, f_master, 1e-5) << g.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MasterEqualsFull, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace a2a

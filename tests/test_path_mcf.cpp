@@ -1,0 +1,98 @@
+// Path-based MCF (§3.1.4): disjoint-path candidates nearly match the
+// unrestricted optimum (the §5.3 observation), shortest-path candidates can
+// be strictly worse on expanders.
+#include "mcf/path_mcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(PathMcf, DisjointMatchesLinkOptimumOnHypercube) {
+  const DiGraph g = make_hypercube(3);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  const auto sol = solve_path_mcf_exact(g, set);
+  EXPECT_NEAR(sol.concurrent_flow, 0.25, 1e-5);
+}
+
+TEST(PathMcf, DisjointMatchesLinkOptimumOnK44) {
+  const DiGraph g = make_complete_bipartite(4, 4);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  const auto sol = solve_path_mcf_exact(g, set);
+  EXPECT_NEAR(sol.concurrent_flow, 0.4, 1e-5);
+}
+
+TEST(PathMcf, ShortestPathsWeakerThanDisjointOnExpander) {
+  // §5.3: pMCF with only shortest paths is suboptimal on expanders because
+  // expanders have few shortest paths.
+  const DiGraph g = make_generalized_kautz(10, 3);
+  const std::vector<NodeId> nodes = all_nodes(g);
+  const double f_disjoint =
+      solve_path_mcf_exact(g, build_disjoint_path_set(g, nodes)).concurrent_flow;
+  const double f_shortest =
+      solve_path_mcf_exact(g, build_shortest_path_set(g, nodes, 64)).concurrent_flow;
+  EXPECT_LE(f_shortest, f_disjoint + 1e-6);
+  const double f_link = solve_link_mcf_exact(g, nodes).concurrent_flow;
+  EXPECT_GE(f_disjoint, 0.85 * f_link);  // near-optimal per §5.3
+}
+
+TEST(PathMcf, UnrestrictedPathsEqualLinkDualOnSmallGraph) {
+  // On a 5-ring, shortest+disjoint candidates already realize the full dual.
+  const DiGraph g = make_ring(5);
+  const std::vector<NodeId> nodes = all_nodes(g);
+  const double f_link = solve_link_mcf_exact(g, nodes).concurrent_flow;
+  const double f_path =
+      solve_path_mcf_exact(g, build_disjoint_path_set(g, nodes)).concurrent_flow;
+  EXPECT_NEAR(f_link, f_path, 1e-5);
+}
+
+TEST(PathMcf, WeightsRespectCapacitiesAndDemands) {
+  const DiGraph g = make_torus({3, 3});
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  const auto sol = solve_path_mcf_exact(g, set);
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t k = 0; k < set.candidates.size(); ++k) {
+    double demand = 0;
+    for (std::size_t p = 0; p < set.candidates[k].size(); ++p) {
+      demand += sol.weights[k][p];
+      for (const EdgeId e : set.candidates[k][p]) {
+        load[static_cast<std::size_t>(e)] += sol.weights[k][p];
+      }
+    }
+    EXPECT_GE(demand, sol.concurrent_flow - 1e-6);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(load[static_cast<std::size_t>(e)], g.edge(e).capacity + 1e-6);
+  }
+}
+
+TEST(PathMcf, MaxLinkLoadInverseOfF) {
+  // With weights normalized per commodity, 1/max_link_load is the rate the
+  // schedule actually achieves; for the optimal weights it equals F.
+  const DiGraph g = make_hypercube(3);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  const auto sol = solve_path_mcf_exact(g, set);
+  const double load = max_link_load(g, set, sol.weights);
+  EXPECT_NEAR(1.0 / load, sol.concurrent_flow, 1e-5);
+}
+
+TEST(PathMcf, ShortestSetTruncationFlagOnTorus) {
+  const DiGraph g = make_torus({3, 3, 3});
+  bool truncated = false;
+  (void)build_shortest_path_set(g, all_nodes(g), 4, &truncated);
+  EXPECT_TRUE(truncated);  // tori have many shortest paths (§3.1.4)
+}
+
+TEST(PathMcf, BuildDisjointThrowsOnDisconnectedTerminals) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  EXPECT_THROW(build_disjoint_path_set(g, {0, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace a2a

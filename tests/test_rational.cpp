@@ -1,0 +1,75 @@
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a2a {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  const Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+  EXPECT_EQ(Rational(0, 17), Rational(0));
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), InvalidArgument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), InvalidArgument);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, GcdMatchesHandComputedCases) {
+  EXPECT_EQ(Rational::gcd(Rational(1, 4), Rational(1, 6)), Rational(1, 12));
+  EXPECT_EQ(Rational::gcd(Rational(3, 10), Rational(1, 5)), Rational(1, 10));
+  EXPECT_EQ(Rational::gcd(Rational(0), Rational(2, 7)), Rational(2, 7));
+}
+
+TEST(Rational, GcdDividesBothOperands) {
+  for (int a = 1; a <= 12; ++a) {
+    for (int b = 1; b <= 12; ++b) {
+      const Rational x(a, 12), y(b, 12);
+      const Rational g = Rational::gcd(x, y);
+      EXPECT_EQ((x / g).den(), 1) << a << "/" << b;
+      EXPECT_EQ((y / g).den(), 1) << a << "/" << b;
+    }
+  }
+}
+
+TEST(Rational, ApproximateRecoversExactRationals) {
+  for (int num = 1; num <= 20; ++num) {
+    for (int den = 1; den <= 20; ++den) {
+      const double x = static_cast<double>(num) / den;
+      const Rational r = Rational::approximate(x, 100);
+      EXPECT_EQ(r, Rational(num, den));
+    }
+  }
+}
+
+TEST(Rational, ApproximateBoundsDenominator) {
+  const Rational pi = Rational::approximate(3.14159265358979, 1000);
+  EXPECT_LE(pi.den(), 1000);
+  EXPECT_NEAR(pi.to_double(), 3.14159265358979, 1e-6);
+}
+
+TEST(Rational, ApproximateHandlesNegative) {
+  const Rational r = Rational::approximate(-0.25, 100);
+  EXPECT_EQ(r, Rational(-1, 4));
+}
+
+}  // namespace
+}  // namespace a2a

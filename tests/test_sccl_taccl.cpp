@@ -1,0 +1,84 @@
+// SCCL-like and TACCL-like synthesizers: valid schedules when they finish,
+// and the Fig. 7 scaling behaviour (SCCL times out quickly).
+#include <gtest/gtest.h>
+
+#include "baselines/sccl_like.hpp"
+#include "baselines/taccl_like.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+#include "schedule/validate.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Sccl, SolvesRingOfFour) {
+  const DiGraph g = make_ring(4);
+  ScclOptions options;
+  options.time_limit_s = 10.0;
+  const auto result = sccl_synthesize(g, options);
+  ASSERT_TRUE(result.schedule.has_value()) << "timed_out=" << result.timed_out;
+  const auto validation = validate_link_schedule(g, *result.schedule, all_nodes(g));
+  EXPECT_TRUE(validation.ok) << (validation.errors.empty() ? "" : validation.errors[0]);
+  EXPECT_GE(result.steps, diameter(g));
+}
+
+TEST(Sccl, SolvesCompleteGraphInOneStep) {
+  const DiGraph g = make_complete(4);
+  const auto result = sccl_synthesize(g);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_EQ(result.steps, 1);
+}
+
+TEST(Sccl, TimesOutAtModestScale) {
+  // Fig. 7: SCCL cannot generate all-to-all schedules even for N=16.
+  const DiGraph g = make_generalized_kautz(16, 4);
+  ScclOptions options;
+  options.time_limit_s = 0.5;
+  options.max_steps = 6;
+  const auto result = sccl_synthesize(g, options);
+  EXPECT_TRUE(result.timed_out || !result.schedule.has_value());
+}
+
+TEST(Taccl, ProducesValidScheduleOnHypercube) {
+  const DiGraph g = make_hypercube(3);
+  TacclOptions options;
+  options.rollouts = 8;
+  const auto result = taccl_synthesize(g, options);
+  const auto validation = validate_link_schedule(g, result.schedule, all_nodes(g));
+  EXPECT_TRUE(validation.ok) << (validation.errors.empty() ? "" : validation.errors[0]);
+  EXPECT_GE(result.steps, diameter(g));
+}
+
+TEST(Taccl, UnderperformsTsMcfOptimum) {
+  // Fig. 3: TACCL underperforms on the hypercube. With whole-shard tokens
+  // every step moves at most one shard per link, so steps >= 1/F means the
+  // schedule's serialized time is steps >= 4; TACCL typically needs more.
+  const DiGraph g = make_hypercube(3);
+  TacclOptions options;
+  options.rollouts = 8;
+  const auto result = taccl_synthesize(g, options);
+  EXPECT_GE(result.steps, 4);  // 1/F floor
+}
+
+TEST(Taccl, ChunkGranularityValidates) {
+  const DiGraph g = make_ring(4);
+  TacclOptions options;
+  options.chunks_per_shard = 2;
+  options.rollouts = 4;
+  const auto result = taccl_synthesize(g, options);
+  const auto validation = validate_link_schedule(g, result.schedule, all_nodes(g));
+  EXPECT_TRUE(validation.ok) << (validation.errors.empty() ? "" : validation.errors[0]);
+}
+
+TEST(Taccl, RuntimeGrowsWithN) {
+  TacclOptions options;
+  options.rollouts = 4;
+  options.time_limit_s = 30.0;
+  const auto t8 = taccl_synthesize(make_generalized_kautz(8, 3), options);
+  const auto t20 = taccl_synthesize(make_generalized_kautz(20, 3), options);
+  EXPECT_GT(t20.seconds, t8.seconds);
+}
+
+}  // namespace
+}  // namespace a2a

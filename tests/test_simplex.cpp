@@ -1,0 +1,199 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+  LpModel m(Sense::kMaximize);
+  const int x = m.add_variable(0, kInfinity, 3);
+  const int y = m.add_variable(0, kInfinity, 5);
+  m.add_coefficient(m.add_row(RowType::kLessEqual, 4), x, 1);
+  m.add_coefficient(m.add_row(RowType::kLessEqual, 12), y, 2);
+  const int r = m.add_row(RowType::kLessEqual, 18);
+  m.add_coefficient(r, x, 3);
+  m.add_coefficient(r, y, 2);
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, SolvesEqualityAndGreaterEqual) {
+  // min x + 2y  s.t.  x + y = 3, x - y >= 1, x,y >= 0  -> (3,0) obj 3? Check:
+  // x+y=3, x-y>=1 -> x>=2. min x+2y = min x + 2(3-x) = 6 - x -> x=3,y=0: obj 3.
+  LpModel m(Sense::kMinimize);
+  const int x = m.add_variable(0, kInfinity, 1);
+  const int y = m.add_variable(0, kInfinity, 2);
+  int r = m.add_row(RowType::kEqual, 3);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  r = m.add_row(RowType::kGreaterEqual, 1);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, -1);
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel m(Sense::kMinimize);
+  const int x = m.add_variable(0, kInfinity, 1);
+  m.add_coefficient(m.add_row(RowType::kGreaterEqual, 5), x, 1);
+  m.add_coefficient(m.add_row(RowType::kLessEqual, 3), x, 1);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m(Sense::kMaximize);
+  const int x = m.add_variable(0, kInfinity, 1);
+  const int y = m.add_variable(0, kInfinity, 0);
+  const int r = m.add_row(RowType::kLessEqual, 1);
+  m.add_coefficient(r, y, 1);
+  (void)x;
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableUpperBounds) {
+  // max x + y with x <= 2 (bound), x + y <= 3.
+  LpModel m(Sense::kMaximize);
+  const int x = m.add_variable(0, 2, 1);
+  const int y = m.add_variable(0, kInfinity, 1);
+  const int r = m.add_row(RowType::kLessEqual, 3);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+  EXPECT_LE(s.values[static_cast<std::size_t>(x)], 2.0 + 1e-9);
+}
+
+TEST(Simplex, BoundFlipPath) {
+  // All variables boxed; optimum at upper bounds.
+  LpModel m(Sense::kMaximize);
+  const int n = 12;
+  int row = -1;
+  for (int i = 0; i < n; ++i) {
+    const int v = m.add_variable(0, 1, 1.0 + 0.01 * i);
+    if (row < 0) row = m.add_row(RowType::kLessEqual, 100.0);
+    m.add_coefficient(row, v, 1.0);
+  }
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(s.values[static_cast<std::size_t>(i)], 1.0, 1e-7);
+  }
+}
+
+TEST(Simplex, FixedVariableViaEqualBounds) {
+  LpModel m(Sense::kMaximize);
+  const int x = m.add_variable(2, 2, 1);  // fixed at 2
+  const int y = m.add_variable(0, kInfinity, 1);
+  const int r = m.add_row(RowType::kLessEqual, 5);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, NonZeroLowerBounds) {
+  // min x + y, x >= 1.5, y >= 2.5, x + y >= 5 -> obj 5.
+  LpModel m(Sense::kMinimize);
+  const int x = m.add_variable(1.5, kInfinity, 1);
+  const int y = m.add_variable(2.5, kInfinity, 1);
+  const int r = m.add_row(RowType::kGreaterEqual, 5);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateTransportationProblem) {
+  // Balanced 3x3 transportation problem with known optimum.
+  // supply {10,10,10}, demand {10,10,10}, cost c[i][j] = |i-j|+1.
+  LpModel m(Sense::kMinimize);
+  int var[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      var[i][j] = m.add_variable(0, kInfinity, std::abs(i - j) + 1);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const int r = m.add_row(RowType::kEqual, 10);
+    for (int j = 0; j < 3; ++j) m.add_coefficient(r, var[i][j], 1);
+  }
+  for (int j = 0; j < 3; ++j) {
+    const int r = m.add_row(RowType::kEqual, 10);
+    for (int i = 0; i < 3; ++i) m.add_coefficient(r, var[i][j], 1);
+  }
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 30.0, 1e-6);  // all diagonal at cost 1
+}
+
+/// Randomized property sweep: feasibility and weak-duality sanity on random
+/// packing LPs (max c'x, Ax <= b, x >= 0 with non-negative data): the
+/// optimum must satisfy every constraint and beat every single-variable
+/// feasible point.
+class SimplexRandomPacking : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomPacking, OptimumFeasibleAndDominant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 5 + static_cast<int>(rng.next_below(10));
+  const int rows = 3 + static_cast<int>(rng.next_below(8));
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) c[static_cast<std::size_t>(j)] = 0.1 + rng.next_double();
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(rows),
+                                     std::vector<double>(static_cast<std::size_t>(n)));
+  std::vector<double> b(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    b[static_cast<std::size_t>(i)] = 1.0 + rng.next_double() * 5;
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = rng.next_double();
+    }
+  }
+  LpModel model(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) model.add_variable(0, kInfinity, c[static_cast<std::size_t>(j)]);
+  for (int i = 0; i < rows; ++i) {
+    const int r = model.add_row(RowType::kLessEqual, b[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < n; ++j) {
+      model.add_coefficient(r, j, a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    model.add_coefficient(model.add_row(RowType::kLessEqual, 10.0), j, 1.0);
+  }
+  const LpSolution s = solve_lp(model);
+  ASSERT_TRUE(s.optimal());
+  // Feasibility.
+  for (int i = 0; i < rows; ++i) {
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) {
+      lhs += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+             s.values[static_cast<std::size_t>(j)];
+    }
+    EXPECT_LE(lhs, b[static_cast<std::size_t>(i)] + 1e-6);
+  }
+  // Dominance over single-variable feasible points.
+  for (int j = 0; j < n; ++j) {
+    double max_x = 10.0;
+    for (int i = 0; i < rows; ++i) {
+      const double aij = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (aij > 1e-12) max_x = std::min(max_x, b[static_cast<std::size_t>(i)] / aij);
+    }
+    EXPECT_GE(s.objective, c[static_cast<std::size_t>(j)] * max_x - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomPacking, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,49 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/topologies.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Spectral, RingSecondEigenvalueMatchesClosedForm) {
+  // Cycle C_n adjacency eigenvalues: 2 cos(2 pi k / n); lambda2 = 2 cos(2pi/n).
+  for (const int n : {6, 8, 12}) {
+    const DiGraph g = make_ring(n);
+    const double expected = 2.0 * std::cos(2.0 * std::numbers::pi / n);
+    EXPECT_NEAR(second_eigenvalue(g, 2000), expected, 0.02) << n;
+  }
+}
+
+TEST(Spectral, CompleteGraphGapIsMaximal) {
+  // K_n: the signed second-largest eigenvalue is -1, gap = (n-1) - (-1) = n.
+  const DiGraph g = make_complete(6);
+  EXPECT_NEAR(second_eigenvalue(g, 2000), -1.0, 0.05);
+  EXPECT_NEAR(spectral_gap(g, 2000), 6.0, 0.1);
+}
+
+TEST(Spectral, ExpandersBeatToriAtEqualDegree) {
+  // §5.4 motivation: expander families keep a constant spectral gap while a
+  // 2D torus' gap decays as 2 - 2cos(2*pi/L); at N=100 the ordering is
+  // already clear.
+  Rng rng(21);
+  const DiGraph torus = make_torus_2d(100);          // 10x10, gap ~ 0.38
+  const DiGraph xpander = make_xpander(4, 20, rng);  // degree 4, N=100
+  EXPECT_GT(spectral_gap(xpander, 3000), spectral_gap(torus, 3000));
+  // And the torus gap matches the closed form.
+  EXPECT_NEAR(second_eigenvalue(torus, 3000),
+              2.0 + 2.0 * std::cos(2.0 * std::numbers::pi / 10.0), 0.05);
+}
+
+TEST(Spectral, HypercubeKnownSpectrum) {
+  // Q_n adjacency eigenvalues: n - 2k; lambda2 = n - 2.
+  const DiGraph g = make_hypercube(4);
+  EXPECT_NEAR(second_eigenvalue(g, 3000), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace a2a

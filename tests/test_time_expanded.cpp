@@ -1,0 +1,64 @@
+#include "graph/time_expanded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(TimeExpanded, ShapeAndIndexing) {
+  const DiGraph g = make_ring(4);  // N=4, E=8
+  const auto te = make_time_expanded(g, 3);
+  EXPECT_EQ(te.graph.num_nodes(), 4 * 4);
+  EXPECT_EQ(te.graph.num_edges(), 3 * (8 + 4));  // fabric + wait arcs
+  EXPECT_EQ(te.node_at(2, 0), 2);
+  EXPECT_EQ(te.node_at(1, 3), 13);
+  EXPECT_EQ(te.base_node(13), 1);
+  EXPECT_EQ(te.time_of(13), 3);
+}
+
+TEST(TimeExpanded, FabricEdgesCrossTimeSteps) {
+  const DiGraph g = make_ring(3);
+  const auto te = make_time_expanded(g, 2);
+  for (EdgeId e = 0; e < te.graph.num_edges(); ++e) {
+    const Edge& edge = te.graph.edge(e);
+    EXPECT_EQ(te.time_of(edge.to), te.time_of(edge.from) + 1);
+    const EdgeId fabric = te.fabric_edge[static_cast<std::size_t>(e)];
+    if (fabric >= 0) {
+      EXPECT_EQ(te.base_node(edge.from), g.edge(fabric).from);
+      EXPECT_EQ(te.base_node(edge.to), g.edge(fabric).to);
+      EXPECT_DOUBLE_EQ(edge.capacity, g.edge(fabric).capacity);
+    } else {
+      EXPECT_EQ(te.base_node(edge.from), te.base_node(edge.to));
+      EXPECT_DOUBLE_EQ(edge.capacity, TimeExpandedGraph::kWaitCapacity);
+    }
+  }
+}
+
+TEST(TimeExpanded, ReachabilityMatchesHopDistance) {
+  const DiGraph g = make_ring(6);  // diameter 3
+  const auto te = make_time_expanded(g, 3);
+  const auto dist = bfs_distances(te.graph, te.node_at(0, 0));
+  // Node at hop distance k is reachable at layer k (via k fabric hops).
+  const auto base_dist = bfs_distances(g, 0);
+  for (NodeId u = 0; u < 6; ++u) {
+    const int k = base_dist[static_cast<std::size_t>(u)];
+    EXPECT_NE(dist[static_cast<std::size_t>(te.node_at(u, 3))], kUnreachable);
+    if (k > 0) {
+      // Not reachable strictly before its hop distance.
+      for (int t = 0; t < k; ++t) {
+        EXPECT_EQ(dist[static_cast<std::size_t>(te.node_at(u, t))], kUnreachable)
+            << "u=" << u << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(TimeExpanded, RejectsZeroSteps) {
+  EXPECT_THROW(make_time_expanded(make_ring(3), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace a2a

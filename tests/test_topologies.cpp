@@ -1,0 +1,190 @@
+#include "graph/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Topologies, RingShape) {
+  const DiGraph g = make_ring(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(Topologies, RingOfTwoHasSingleBidiLink) {
+  const DiGraph g = make_ring(2);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Topologies, CompleteBipartite) {
+  const DiGraph g = make_complete_bipartite(4, 4);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 32);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Topologies, HypercubeQ3) {
+  const DiGraph g = make_hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 24);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_EQ(total_pairwise_distance(g), 96);
+}
+
+TEST(Topologies, TwistedHypercubeShortensDistances) {
+  const DiGraph tq = make_twisted_hypercube(3);
+  EXPECT_EQ(tq.num_nodes(), 8);
+  EXPECT_TRUE(tq.is_regular(3));
+  EXPECT_LE(total_pairwise_distance(tq), total_pairwise_distance(make_hypercube(3)));
+  EXPECT_TRUE(is_strongly_connected(tq));
+}
+
+TEST(Topologies, Torus333) {
+  const DiGraph g = make_torus({3, 3, 3});
+  EXPECT_EQ(g.num_nodes(), 27);
+  EXPECT_EQ(g.num_edges(), 162);
+  EXPECT_TRUE(g.is_regular(6));
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_EQ(total_pairwise_distance(g), 1458);  // gives F = 1/9 (§5.2)
+}
+
+TEST(Topologies, TorusDimension2NotDoubled) {
+  const DiGraph g = make_torus({2, 3});
+  EXPECT_EQ(g.num_nodes(), 6);
+  // Each node: 1 link in the size-2 dim + 2 in the ring dim.
+  EXPECT_TRUE(g.is_regular(3));
+}
+
+TEST(Topologies, MeshHasNoWraparound) {
+  const DiGraph mesh = make_mesh({3, 3});
+  EXPECT_EQ(mesh.num_edges(), 24);  // 12 bidi links
+  EXPECT_EQ(diameter(mesh), 4);
+}
+
+TEST(Topologies, Torus2dFactorization) {
+  const DiGraph g = make_torus_2d(12);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_THROW(make_torus_2d(22), InvalidArgument);  // 2*11 has no a,b >= 3
+}
+
+TEST(Topologies, GeneralizedKautzAnyNAndDegree) {
+  for (const int n : {7, 12, 25, 50, 81}) {
+    for (const int d : {2, 3, 4}) {
+      const DiGraph g = make_generalized_kautz(n, d);
+      EXPECT_EQ(g.num_nodes(), n);
+      EXPECT_TRUE(is_strongly_connected(g)) << "GK(" << d << "," << n << ")";
+      // Out-degree d, minus possibly skipped self-loop arcs.
+      for (NodeId u = 0; u < n; ++u) {
+        EXPECT_LE(g.out_degree(u), d);
+        EXPECT_GE(g.out_degree(u), d - 1);
+      }
+    }
+  }
+}
+
+TEST(Topologies, GeneralizedKautzLowDiameter) {
+  // GK diameter is at most ceil(log_d N) + 1 for the Imase-Itoh construction.
+  const DiGraph g = make_generalized_kautz(64, 4);
+  EXPECT_LE(diameter(g), 4);
+}
+
+TEST(Topologies, DeBruijn) {
+  const DiGraph g = make_de_bruijn(2, 3);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_LE(diameter(g), 3);
+}
+
+TEST(Topologies, XpanderRegularAndConnected) {
+  Rng rng(42);
+  const DiGraph g = make_xpander(4, 8, rng);  // N = 40
+  EXPECT_EQ(g.num_nodes(), 40);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Topologies, DragonflyShapeAndConnectivity) {
+  const DiGraph g = make_dragonfly(5, 4, 1);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_LE(diameter(g), 4);  // local-global-local plus slack
+  // Every router has its 3 intra-group links.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(g.out_degree(u), 3);
+  }
+  EXPECT_THROW(make_dragonfly(1, 4), InvalidArgument);
+}
+
+TEST(Topologies, RandomRegularIsSimpleRegularConnected) {
+  Rng rng(7);
+  const DiGraph g = make_random_regular(24, 3, rng);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_strongly_connected(g));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::set<NodeId> seen;
+    for (const EdgeId e : g.out_edges(u)) {
+      EXPECT_TRUE(seen.insert(g.edge(e).to).second) << "parallel edge at " << u;
+    }
+  }
+  EXPECT_THROW(make_random_regular(5, 3, rng), InvalidArgument);  // odd n*d
+}
+
+TEST(Topologies, PunctureEdgesKeepsConnectivityAndRemovesPairs) {
+  Rng rng(3);
+  const DiGraph torus = make_torus({3, 3, 3});
+  const DiGraph punctured = puncture_edges(torus, 3, rng);
+  EXPECT_EQ(punctured.num_nodes(), 27);
+  EXPECT_EQ(punctured.num_edges(), 162 - 6);
+  EXPECT_TRUE(is_strongly_connected(punctured));
+}
+
+TEST(Topologies, PunctureNodes) {
+  Rng rng(3);
+  const DiGraph torus = make_torus({3, 3, 3});
+  const DiGraph punctured = puncture_nodes(torus, 3, rng);
+  EXPECT_EQ(punctured.num_nodes(), 24);
+  EXPECT_TRUE(is_strongly_connected(punctured));
+}
+
+TEST(Topologies, DisableRandomArcs) {
+  Rng rng(11);
+  const DiGraph g = make_generalized_kautz(81, 8);
+  const DiGraph damaged = disable_random_arcs(g, 40, rng);
+  EXPECT_EQ(damaged.num_edges(), g.num_edges() - 40);
+  EXPECT_TRUE(is_strongly_connected(damaged));
+}
+
+/// Parameterized sweep: every family stays strongly connected across sizes.
+class TopologyFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyFamilies, ConnectedAndSane) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<DiGraph> graphs;
+  graphs.push_back(make_ring(n));
+  graphs.push_back(make_generalized_kautz(n, 3));
+  if (n % 2 == 0) graphs.push_back(make_random_regular(n, 3, rng));
+  for (const auto& g : graphs) {
+    EXPECT_TRUE(is_strongly_connected(g)) << g.summary();
+    EXPECT_GT(g.num_edges(), 0);
+    for (const Edge& e : g.edges()) {
+      EXPECT_NE(e.from, e.to);
+      EXPECT_GT(e.capacity, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyFamilies,
+                         ::testing::Values(6, 9, 14, 21, 32, 50));
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,102 @@
+// Time-stepped MCF (§3.1.3): the optimal total utilization equals 1/F of
+// the fluid MCF once enough steps are allowed, and the flows satisfy the
+// causality/demand constraints (15)-(20).
+#include "mcf/timestepped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+
+namespace a2a {
+namespace {
+
+void check_tsmcf_invariants(const DiGraph& g, const TsMcfSolution& sol) {
+  for (int k = 0; k < sol.pairs.count(); ++k) {
+    const auto [s, d] = sol.pairs.nodes(k);
+    const auto& flow = sol.flow[static_cast<std::size_t>(k)];
+    // (19) one unit leaves s, one unit reaches d.
+    double out_s = 0, in_d = 0;
+    for (int t = 0; t < sol.steps; ++t) {
+      for (const EdgeId e : g.out_edges(s)) {
+        out_s += flow[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+      }
+      for (const EdgeId e : g.in_edges(d)) {
+        in_d += flow[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+      }
+    }
+    EXPECT_NEAR(out_s, 1.0, 1e-5) << s << "->" << d;
+    EXPECT_NEAR(in_d, 1.0, 1e-5) << s << "->" << d;
+    // (17) cumulative causality at intermediates.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == s || u == d) continue;
+      double cum_in = 0, cum_out = 0;
+      for (int t = 0; t < sol.steps; ++t) {
+        for (const EdgeId e : g.out_edges(u)) {
+          cum_out += flow[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+        }
+        EXPECT_LE(cum_out, cum_in + 1e-5) << "node " << u << " step " << t + 1;
+        for (const EdgeId e : g.in_edges(u)) {
+          cum_in += flow[static_cast<std::size_t>(t)][static_cast<std::size_t>(e)];
+        }
+      }
+      EXPECT_NEAR(cum_in, cum_out, 1e-5) << "(18) at node " << u;
+    }
+  }
+  // (16): per-step utilization matches the reported U_t.
+  for (int t = 0; t < sol.steps; ++t) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      double total = 0;
+      for (int k = 0; k < sol.pairs.count(); ++k) {
+        total += sol.flow[static_cast<std::size_t>(k)][static_cast<std::size_t>(t)]
+                         [static_cast<std::size_t>(e)];
+      }
+      EXPECT_LE(total / g.edge(e).capacity,
+                sol.step_utilization[static_cast<std::size_t>(t)] + 1e-5);
+    }
+  }
+}
+
+TEST(TsMcf, RingOfFourMatchesFluidOptimum) {
+  const DiGraph g = make_ring(4);
+  const auto sol = solve_tsmcf_exact(g, 3, all_nodes(g));
+  EXPECT_NEAR(sol.total_utilization, 2.0, 1e-5);  // 1/F with F = 1/2
+  check_tsmcf_invariants(g, sol);
+}
+
+TEST(TsMcf, HypercubeMatchesFluidOptimum) {
+  const DiGraph g = make_hypercube(3);
+  const auto sol = solve_tsmcf_exact(g, 4, all_nodes(g));
+  EXPECT_NEAR(sol.total_utilization, 4.0, 1e-4);  // 1/F with F = 1/4
+  check_tsmcf_invariants(g, sol);
+}
+
+TEST(TsMcf, BipartiteMatchesFluidOptimum) {
+  const DiGraph g = make_complete_bipartite(4, 4);
+  const auto sol = solve_tsmcf_exact(g, 3, all_nodes(g));
+  EXPECT_NEAR(sol.total_utilization, 2.5, 1e-4);  // 1/F with F = 2/5
+  check_tsmcf_invariants(g, sol);
+}
+
+TEST(TsMcf, MoreStepsNeverHurt) {
+  const DiGraph g = make_ring(4);
+  const double u3 = solve_tsmcf_exact(g, 3, all_nodes(g)).total_utilization;
+  const double u5 = solve_tsmcf_exact(g, 5, all_nodes(g)).total_utilization;
+  EXPECT_LE(u5, u3 + 1e-6);
+}
+
+TEST(TsMcf, RejectsTooFewSteps) {
+  const DiGraph g = make_ring(6);  // diameter 3
+  EXPECT_THROW(solve_tsmcf_exact(g, 2, all_nodes(g)), InvalidArgument);
+}
+
+TEST(TsMcf, TotalUtilizationAtLeastFluidBound) {
+  // For any steps >= diameter, sum U_t >= 1/F_fluid.
+  const DiGraph g = make_twisted_hypercube(3);
+  const auto sol = solve_tsmcf_exact(g, diameter(g) + 1, all_nodes(g));
+  check_tsmcf_invariants(g, sol);
+  EXPECT_GE(sol.total_utilization, 1.0);  // trivially >= (N-1)/d = 7/3? no: >= 1
+}
+
+}  // namespace
+}  // namespace a2a

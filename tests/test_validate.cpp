@@ -1,0 +1,132 @@
+#include "schedule/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+
+namespace a2a {
+namespace {
+
+Chunk whole(NodeId s, NodeId d) {
+  return Chunk{s, d, Rational(0), Rational(1)};
+}
+
+TEST(Validate, AcceptsDirectExchange) {
+  const DiGraph g = make_complete(3);
+  LinkSchedule sched;
+  sched.num_nodes = 3;
+  sched.num_steps = 1;
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId d = 0; d < 3; ++d) {
+      if (s != d) sched.transfers.push_back(Transfer{whole(s, d), s, d, 1});
+    }
+  }
+  EXPECT_TRUE(validate_link_schedule(g, sched, all_nodes(g)).ok);
+}
+
+TEST(Validate, RejectsNonEdgeHop) {
+  const DiGraph g = make_ring(4);
+  LinkSchedule sched;
+  sched.num_nodes = 4;
+  sched.num_steps = 1;
+  sched.transfers.push_back(Transfer{whole(0, 2), 0, 2, 1});  // chord: not a link
+  const auto result = validate_link_schedule(g, sched, {0, 2});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validate, RejectsCausalityViolation) {
+  const DiGraph g = make_ring(4);
+  LinkSchedule sched;
+  sched.num_nodes = 4;
+  sched.num_steps = 2;
+  // Forwarded from 1 at the same step it arrives there.
+  sched.transfers.push_back(Transfer{whole(0, 2), 0, 1, 1});
+  sched.transfers.push_back(Transfer{whole(0, 2), 1, 2, 1});
+  sched.transfers.push_back(Transfer{whole(2, 0), 2, 3, 1});
+  sched.transfers.push_back(Transfer{whole(2, 0), 3, 0, 2});
+  const auto result = validate_link_schedule(g, sched, {0, 2});
+  EXPECT_FALSE(result.ok);
+  // Fixing the step ordering makes it valid.
+  sched.transfers[1].step = 2;
+  EXPECT_TRUE(validate_link_schedule(g, sched, {0, 2}).ok);
+}
+
+TEST(Validate, RejectsMissingShard) {
+  const DiGraph g = make_complete(3);
+  LinkSchedule sched;
+  sched.num_nodes = 3;
+  sched.num_steps = 1;
+  sched.transfers.push_back(Transfer{whole(0, 1), 0, 1, 1});
+  const auto result = validate_link_schedule(g, sched, all_nodes(g));
+  EXPECT_FALSE(result.ok);  // 5 other shards never delivered
+}
+
+TEST(Validate, RejectsOverlappingChunks) {
+  const DiGraph g = make_complete(2);
+  LinkSchedule sched;
+  sched.num_nodes = 2;
+  sched.num_steps = 1;
+  sched.transfers.push_back(
+      Transfer{Chunk{0, 1, Rational(0), Rational(3, 4)}, 0, 1, 1});
+  sched.transfers.push_back(
+      Transfer{Chunk{0, 1, Rational(1, 2), Rational(1)}, 0, 1, 1});
+  sched.transfers.push_back(Transfer{whole(1, 0), 1, 0, 1});
+  EXPECT_FALSE(validate_link_schedule(g, sched, all_nodes(g)).ok);
+}
+
+TEST(Validate, AcceptsChunkedMultiStep) {
+  const DiGraph g = make_ring(4);
+  LinkSchedule sched;
+  sched.num_nodes = 4;
+  sched.num_steps = 2;
+  // 0 -> 2 split into halves over the two ring directions.
+  const Chunk left{0, 2, Rational(0), Rational(1, 2)};
+  const Chunk right{0, 2, Rational(1, 2), Rational(1)};
+  sched.transfers.push_back(Transfer{left, 0, 1, 1});
+  sched.transfers.push_back(Transfer{left, 1, 2, 2});
+  sched.transfers.push_back(Transfer{right, 0, 3, 1});
+  sched.transfers.push_back(Transfer{right, 3, 2, 2});
+  sched.transfers.push_back(Transfer{whole(2, 0), 2, 1, 1});
+  sched.transfers.push_back(Transfer{whole(2, 0), 1, 0, 2});
+  EXPECT_TRUE(validate_link_schedule(g, sched, {0, 2}).ok);
+}
+
+TEST(ValidatePath, RejectsIncompleteWeights) {
+  const DiGraph g = make_ring(4);
+  PathSchedule sched;
+  sched.num_nodes = 4;
+  sched.chunk_unit = Rational(1, 2);
+  RouteEntry r;
+  r.src = 0;
+  r.dst = 1;
+  r.path = {g.find_edge(0, 1)};
+  r.weight = 0.5;
+  r.num_chunks = 1;
+  sched.entries.push_back(r);
+  const auto result = validate_path_schedule(g, sched, {0, 1});
+  EXPECT_FALSE(result.ok);  // weights sum to 0.5 and the 1->0 commodity is missing
+}
+
+TEST(ValidatePath, AcceptsCompleteSchedule) {
+  const DiGraph g = make_ring(4);
+  PathSchedule sched;
+  sched.num_nodes = 4;
+  sched.chunk_unit = Rational(1, 2);
+  auto add = [&](NodeId s, NodeId d, const Path& p, double w, int chunks) {
+    RouteEntry r;
+    r.src = s;
+    r.dst = d;
+    r.path = p;
+    r.weight = w;
+    r.num_chunks = chunks;
+    sched.entries.push_back(r);
+  };
+  add(0, 2, {g.find_edge(0, 1), g.find_edge(1, 2)}, 0.5, 1);
+  add(0, 2, {g.find_edge(0, 3), g.find_edge(3, 2)}, 0.5, 1);
+  add(2, 0, {g.find_edge(2, 1), g.find_edge(1, 0)}, 1.0, 2);
+  EXPECT_TRUE(validate_path_schedule(g, sched, {0, 2}).ok);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,112 @@
+// Deadlock-freedom (§5.5): LASH layer assignment keeps every layer's
+// channel-dependency graph acyclic, and LASH-sequential needs <= 4 layers on
+// the paper's route families.
+#include "runtime/vc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dor.hpp"
+#include "baselines/sssp.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/decomposed.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+
+namespace a2a {
+namespace {
+
+/// Re-checks an assignment: per layer, routes must have an acyclic CDG.
+void check_assignment(const DiGraph& g, const std::vector<Path>& routes,
+                      const VcAssignment& a) {
+  ASSERT_EQ(a.layer.size(), routes.size());
+  for (int layer = 0; layer < a.num_layers; ++layer) {
+    std::vector<Path> in_layer;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (a.layer[i] == layer) in_layer.push_back(routes[i]);
+    }
+    EXPECT_TRUE(cdg_is_acyclic(g, in_layer)) << "layer " << layer;
+  }
+}
+
+TEST(Vc, DorOnTorusIsNotDeadlockFreeButMeshIs) {
+  // Classic result [17]: DOR deadlocks on wraparound rings, never on meshes.
+  const DiGraph mesh = make_mesh({3, 3});
+  const auto mesh_plan = dor_routes(mesh, {3, 3}, false);
+  EXPECT_TRUE(cdg_is_acyclic(mesh, mesh_plan.routes));
+
+  const DiGraph torus = make_torus({4, 4});
+  const auto torus_plan = dor_routes(torus, {4, 4}, true);
+  EXPECT_FALSE(cdg_is_acyclic(torus, torus_plan.routes));
+}
+
+TEST(Vc, AssignmentValidOnTorusDor) {
+  const DiGraph torus = make_torus({3, 3, 3});
+  const auto plan = dor_routes(torus, {3, 3, 3}, true);
+  const auto a = assign_layers(torus, plan.routes, VcOrdering::kShortestFirst);
+  check_assignment(torus, plan.routes, a);
+  EXPECT_LE(a.num_layers, 4);  // the paper's §5.5 observation
+}
+
+TEST(Vc, LashSequentialAtMostFourLayersAcrossAlgorithmsAndTopologies) {
+  std::vector<DiGraph> graphs;
+  graphs.push_back(make_torus({3, 3, 3}));
+  graphs.push_back(make_hypercube(3));
+  graphs.push_back(make_complete_bipartite(4, 4));
+  graphs.push_back(make_generalized_kautz(16, 3));
+  for (const auto& g : graphs) {
+    // SSSP routes.
+    const auto sssp = sssp_routes(g, all_nodes(g));
+    const auto a1 = assign_layers(g, sssp.routes, VcOrdering::kShortestFirst);
+    check_assignment(g, sssp.routes, a1);
+    EXPECT_LE(a1.num_layers, 4) << "SSSP on " << g.summary();
+    // MCF-extP routes.
+    const auto flows = solve_decomposed_mcf(g, all_nodes(g));
+    const auto cpaths = paths_from_link_flows(g, flows);
+    std::vector<Path> routes;
+    for (const auto& cp : cpaths) {
+      for (const auto& wp : cp.paths) routes.push_back(wp.path);
+    }
+    const auto a2 = assign_layers(g, routes, VcOrdering::kShortestFirst);
+    check_assignment(g, routes, a2);
+    EXPECT_LE(a2.num_layers, 4) << "MCF-extP on " << g.summary();
+  }
+}
+
+TEST(Vc, OrderingsAreAllValid) {
+  const DiGraph g = make_torus({3, 3});
+  const auto plan = sssp_routes(g, all_nodes(g));
+  for (const auto ordering : {VcOrdering::kInputOrder, VcOrdering::kShortestFirst,
+                              VcOrdering::kSourceGrouped}) {
+    const auto a = assign_layers(g, plan.routes, ordering);
+    check_assignment(g, plan.routes, a);
+    EXPECT_GE(a.num_layers, 1);
+  }
+}
+
+TEST(Vc, SingleHopRoutesNeedOneLayer) {
+  const DiGraph g = make_complete(4);
+  std::vector<Path> routes;
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s != d) routes.push_back({g.find_edge(s, d)});
+    }
+  }
+  const auto a = assign_layers(g, routes);
+  EXPECT_EQ(a.num_layers, 1);
+}
+
+TEST(Vc, PathScheduleLayersWrittenInPlace) {
+  const DiGraph g = make_hypercube(3);
+  const auto flows = solve_decomposed_mcf(g, all_nodes(g));
+  PathSchedule sched = compile_path_schedule(g, paths_from_link_flows(g, flows));
+  const int layers = assign_layers(g, sched, VcOrdering::kShortestFirst);
+  EXPECT_GE(layers, 1);
+  EXPECT_LE(layers, 4);
+  for (const RouteEntry& r : sched.entries) {
+    EXPECT_GE(r.layer, 0);
+    EXPECT_LT(r.layer, layers);
+  }
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+#include "mcf/decomposed.hpp"
+#include "runtime/sf_simulator.hpp"
+#include "schedule/compile_link.hpp"
+#include "workloads/dlrm.hpp"
+#include "workloads/fft3d.hpp"
+
+namespace a2a {
+namespace {
+
+TEST(Dlrm, ShardBytesScaleWithConfig) {
+  DlrmConfig config;
+  config.ranks = 8;
+  config.batch_size = 4096;
+  config.embedding_dim = 128;
+  config.tables_per_rank = 4;
+  // 512 samples * 4 tables * 128 dims * 4 bytes = 1 MiB.
+  EXPECT_NEAR(dlrm_shard_bytes(config), 512.0 * 4 * 128 * 4, 1e-6);
+  config.embedding_dim = 256;
+  EXPECT_NEAR(dlrm_shard_bytes(config), 512.0 * 4 * 256 * 4, 1e-6);
+}
+
+TEST(Dlrm, EvaluateUsesScheduleSimulator) {
+  const DiGraph g = make_hypercube(3);
+  const auto flows = solve_decomposed_mcf(g, all_nodes(g));
+  const LinkSchedule sched =
+      unroll_rate_schedule(g, paths_from_link_flows(g, flows));
+  const Fabric fabric = gpu_mscl_fabric();
+  DlrmConfig config;
+  config.ranks = 8;
+  const auto report = evaluate_dlrm(config, [&](double shard_bytes) {
+    return simulate_link_schedule(g, sched, shard_bytes, 8, fabric).seconds;
+  });
+  EXPECT_GT(report.alltoall_s, 0.0);
+  EXPECT_GT(report.batches_per_second, 0.0);
+  // Faster network -> more batches/s.
+  Fabric fast = fabric;
+  fast.link_GBps *= 4;
+  const auto faster = evaluate_dlrm(config, [&](double shard_bytes) {
+    return simulate_link_schedule(g, sched, shard_bytes, 8, fast).seconds;
+  });
+  EXPECT_GT(faster.batches_per_second, report.batches_per_second);
+}
+
+TEST(Fft3dModel, BreakdownBandsAllPositive) {
+  const auto t = model_fft3d_time(96, 27, 32,
+                                  [](double bytes) { return bytes / 5e9; }, 32);
+  EXPECT_GT(t.fft2d_pack_s, 0.0);
+  EXPECT_GT(t.unpack_fft1d_s, 0.0);
+  EXPECT_GT(t.alltoall_s, 0.0);
+  EXPECT_NEAR(t.total(), t.fft2d_pack_s + t.alltoall_s + t.unpack_fft1d_s, 1e-12);
+}
+
+TEST(Fft3dModel, FasterCollectiveShrinksOnlyCommBand) {
+  auto slow = model_fft3d_time(128, 27, 32, [](double b) { return b / 1e9; }, 32);
+  auto fast = model_fft3d_time(128, 27, 32, [](double b) { return b / 8e9; }, 32);
+  EXPECT_NEAR(slow.fft2d_pack_s, fast.fft2d_pack_s, 1e-9);
+  EXPECT_GT(slow.alltoall_s, fast.alltoall_s);
+}
+
+TEST(Fft3dModel, PaperGridBufferSizes) {
+  // §5.2: up to 1296^3 grid -> 1.29 GB all-to-all buffers on 27 ranks.
+  EXPECT_NEAR(fft3d_alltoall_buffer_bytes(729, 27) / 1e6, 229.6, 2.0);
+  EXPECT_NEAR(fft3d_alltoall_buffer_bytes(1296, 27) / 1e9, 1.29, 0.02);
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,57 @@
+#include "common/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace a2a {
+namespace {
+
+TEST(Xml, RoundTripsElementsAndAttributes) {
+  XmlNode root("algo");
+  root.set_attr("name", "alltoall");
+  root.set_attr("steps", 4LL);
+  XmlNode& child = root.add_child("step");
+  child.set_attr("id", 1LL);
+  child.add_child("send").set_attr("to", 3LL);
+  const std::string text = xml_to_string(root);
+  const auto parsed = xml_parse(text);
+  EXPECT_EQ(parsed->name, "algo");
+  EXPECT_EQ(parsed->attr("name"), "alltoall");
+  EXPECT_EQ(parsed->attr_int("steps"), 4);
+  ASSERT_EQ(parsed->children.size(), 1u);
+  EXPECT_EQ(parsed->children[0]->children_named("send").size(), 1u);
+}
+
+TEST(Xml, EscapesSpecialCharacters) {
+  XmlNode root("r");
+  root.set_attr("expr", "a<b&&c>\"d\"");
+  const auto parsed = xml_parse(xml_to_string(root));
+  EXPECT_EQ(parsed->attr("expr"), "a<b&&c>\"d\"");
+}
+
+TEST(Xml, ParsesTextContent) {
+  const auto parsed = xml_parse("<note>  hello &amp; goodbye  </note>");
+  EXPECT_EQ(parsed->text, "hello & goodbye");
+}
+
+TEST(Xml, SkipsPrologAndSelfClosing) {
+  const auto parsed =
+      xml_parse("<?xml version=\"1.0\"?>\n<a><b x=\"1\"/><b x=\"2\"/></a>");
+  EXPECT_EQ(parsed->children_named("b").size(), 2u);
+}
+
+TEST(Xml, RejectsMalformedInput) {
+  EXPECT_THROW(xml_parse("<a><b></a></b>"), InvalidArgument);
+  EXPECT_THROW(xml_parse("<a"), InvalidArgument);
+  EXPECT_THROW(xml_parse("<a></a><b></b>"), InvalidArgument);
+  EXPECT_THROW(xml_parse("<a x=1></a>"), InvalidArgument);
+}
+
+TEST(Xml, MissingAttributeThrows) {
+  const auto parsed = xml_parse("<a x=\"1\"/>");
+  EXPECT_TRUE(parsed->has_attr("x"));
+  EXPECT_FALSE(parsed->has_attr("y"));
+  EXPECT_THROW(static_cast<void>(parsed->attr("y")), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace a2a

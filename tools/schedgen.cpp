@@ -1,0 +1,170 @@
+// a2a-schedgen — the command-line front end an operator would actually run:
+// build a topology, pick a fabric, synthesize the all-to-all schedule, and
+// emit the §4 XML (plus a human-readable report) to stdout or a file.
+//
+//   schedgen --topology torus3d --dims 3x3x3 --fabric cerio -o sched.xml
+//   schedgen --topology genkautz --nodes 64 --degree 4 --fabric gpu
+//   schedgen --topology hypercube --dim 3 --fabric oneccl --report-only
+//
+// Exit code 0 on success; diagnostics on stderr.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/api.hpp"
+#include "graph/topologies.hpp"
+#include "schedule/stats.hpp"
+#include "schedule/validate.hpp"
+#include "schedule/xml_io.hpp"
+
+namespace {
+
+using namespace a2a;
+
+struct Args {
+  std::string topology = "torus3d";
+  std::string dims = "3x3x3";
+  int nodes = 64;
+  int degree = 4;
+  int dim = 3;
+  std::uint64_t seed = 1;
+  std::string fabric = "cerio";
+  std::string output;
+  bool report_only = false;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: schedgen [options]\n"
+      "  --topology NAME   torus3d|torus2d|hypercube|twisted|bipartite|ring|\n"
+      "                    genkautz|debruijn|xpander|randomregular|dragonfly\n"
+      "  --dims AxBxC      torus dimensions (torus3d)\n"
+      "  --nodes N         node count (genkautz/torus2d/randomregular/ring)\n"
+      "  --degree D        degree (genkautz/randomregular/xpander)\n"
+      "  --dim K           dimension (hypercube/twisted/debruijn)\n"
+      "  --seed S          RNG seed for randomized families\n"
+      "  --fabric NAME     cerio|gpu|oneccl\n"
+      "  --output FILE     write schedule XML here (default: stdout)\n"
+      "  --report-only     print the report, skip the XML\n";
+}
+
+DiGraph build_topology(const Args& args) {
+  Rng rng(args.seed);
+  if (args.topology == "torus3d") {
+    std::vector<int> dims;
+    std::stringstream ss(args.dims);
+    std::string token;
+    while (std::getline(ss, token, 'x')) dims.push_back(std::stoi(token));
+    return make_torus(dims);
+  }
+  if (args.topology == "torus2d") return make_torus_2d(args.nodes);
+  if (args.topology == "hypercube") return make_hypercube(args.dim);
+  if (args.topology == "twisted") return make_twisted_hypercube(args.dim);
+  if (args.topology == "bipartite") {
+    return make_complete_bipartite(args.nodes / 2, args.nodes - args.nodes / 2);
+  }
+  if (args.topology == "ring") return make_ring(args.nodes);
+  if (args.topology == "genkautz") return make_generalized_kautz(args.nodes, args.degree);
+  if (args.topology == "debruijn") return make_de_bruijn(2, args.dim);
+  if (args.topology == "xpander") {
+    return make_xpander(args.degree, args.nodes / (args.degree + 1), rng);
+  }
+  if (args.topology == "randomregular") {
+    return make_random_regular(args.nodes, args.degree, rng);
+  }
+  if (args.topology == "dragonfly") {
+    return make_dragonfly(args.degree + 1, args.degree, 1);
+  }
+  throw InvalidArgument("unknown topology: " + args.topology);
+}
+
+Fabric build_fabric(const std::string& name) {
+  if (name == "cerio") return hpc_cerio_fabric();
+  if (name == "gpu") return gpu_mscl_fabric();
+  if (name == "oneccl") return cpu_oneccl_fabric();
+  throw InvalidArgument("unknown fabric: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--topology") args.topology = value();
+    else if (flag == "--dims") args.dims = value();
+    else if (flag == "--nodes") args.nodes = std::stoi(value());
+    else if (flag == "--degree") args.degree = std::stoi(value());
+    else if (flag == "--dim") args.dim = std::stoi(value());
+    else if (flag == "--seed") args.seed = std::stoull(value());
+    else if (flag == "--fabric") args.fabric = value();
+    else if (flag == "--output" || flag == "-o") args.output = value();
+    else if (flag == "--report-only") args.report_only = true;
+    else if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const DiGraph topo = build_topology(args);
+    const Fabric fabric = build_fabric(args.fabric);
+    std::cerr << "topology: " << topo.summary() << ", fabric: " << fabric.name
+              << "\n";
+    const GeneratedSchedule result = generate_schedule(topo, fabric);
+    std::cerr << "pipeline: " << result.notes << "\n";
+    std::cerr << "concurrent rate F = " << result.concurrent_flow
+              << " (throughput bound "
+              << (result.terminals.size() - 1) * result.concurrent_flow *
+                     fabric.link_GBps
+              << " GB/s)\n";
+
+    std::string xml;
+    if (result.path.has_value()) {
+      const auto validation = validate_path_schedule(
+          result.schedule_graph, *result.path, result.terminals);
+      A2A_REQUIRE(validation.ok, "generated schedule failed validation");
+      const auto stats = analyze_path_schedule(result.schedule_graph, *result.path);
+      std::cerr << "routes: " << stats.num_routes << ", chunks/QPs: "
+                << stats.num_chunks << ", avg hops: " << stats.avg_hops
+                << ", VC layers: " << stats.vc_layers << "\n";
+      xml = path_schedule_to_xml(result.schedule_graph, *result.path);
+    } else {
+      const auto validation = validate_link_schedule(
+          result.schedule_graph, *result.link, result.terminals);
+      A2A_REQUIRE(validation.ok, "generated schedule failed validation");
+      const auto stats = analyze_link_schedule(result.schedule_graph, *result.link);
+      std::cerr << "steps: " << stats.num_steps << ", transfers: "
+                << stats.num_transfers << ", peak scratch/rank: "
+                << stats.peak_scratch_per_rank << " shards\n";
+      xml = link_schedule_to_xml(*result.link);
+    }
+    if (args.report_only) return 0;
+    if (args.output.empty()) {
+      std::cout << xml;
+    } else {
+      std::ofstream out(args.output);
+      A2A_REQUIRE(out.good(), "cannot open output file: ", args.output);
+      out << xml;
+      std::cerr << "wrote " << xml.size() << " bytes to " << args.output << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
