@@ -1,0 +1,144 @@
+// SchedBin container study — size and (de)serialization throughput vs the
+// §4 XML dialect across the Fig. 10 topology families, plus the schedule
+// cache's effect on repeat generate_schedule() calls.
+#include "bench_util.hpp"
+
+#include "common/thread_pool.hpp"
+#include "container/schedbin.hpp"
+#include "core/api.hpp"
+#include "core/schedule_cache.hpp"
+#include "schedule/xml_io.hpp"
+
+using namespace a2a;
+using namespace a2a::bench;
+
+namespace {
+
+struct Case {
+  std::string name;
+  DiGraph graph;
+};
+
+std::vector<Case> fig10_cases() {
+  Rng rng(1);
+  std::vector<Case> cases;
+  cases.push_back({"GenKautz(16,4)", make_generalized_kautz(16, 4)});
+  cases.push_back({"GenKautz(32,4)", make_generalized_kautz(32, 4)});
+  cases.push_back({"GenKautz(64,4)", make_generalized_kautz(64, 4)});
+  cases.push_back({"Torus2D(36)", make_torus_2d(36)});
+  cases.push_back({"Xpander(4,8)", make_xpander(4, 8, rng)});
+  cases.push_back({"RandReg(32,4)", make_random_regular(32, 4, rng)});
+  return cases;
+}
+
+/// Median-of-reps seconds for a callable, adaptively repeated so fast
+/// serializers get stable numbers.
+template <typename Fn>
+double best_time(Fn&& fn) {
+  double best = 1e30;
+  double total = 0.0;
+  for (int rep = 0; rep < 20 && (rep < 3 || total < 0.2); ++rep) {
+    const double t = timed(fn);
+    best = std::min(best, t);
+    total += t;
+  }
+  return best;
+}
+
+double mbps(std::size_t bytes, double seconds) {
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  ToolchainOptions toolchain;
+  toolchain.chunking = coarse_chunking();
+  const Fabric fabric = hpc_cerio_fabric();
+
+  std::cout << "=== SchedBin vs XML: size across the Fig. 10 topology sweep "
+               "===\n\n";
+  Table sizes({"topology", "routes", "xml KB", "raw KB", "rle KB", "delta KB",
+               "xml/delta"});
+  Table speeds({"topology", "xml enc MB/s", "xml dec MB/s", "bin enc MB/s",
+                "bin dec MB/s", "bin enc(mt) MB/s", "bin dec(mt) MB/s"});
+
+  double worst_ratio = 1e30;
+  for (Case& c : fig10_cases()) {
+    const GeneratedSchedule generated =
+        generate_schedule(c.graph, fabric, toolchain);
+    const PathSchedule& sched = *generated.path;
+    const DiGraph& g = generated.schedule_graph;
+
+    const std::string xml = path_schedule_to_xml(g, sched);
+    std::string by_codec[3];
+    for (const SchedBinCodec codec :
+         {SchedBinCodec::kRaw, SchedBinCodec::kRle, SchedBinCodec::kDelta}) {
+      SchedBinOptions options;
+      options.codec = codec;
+      by_codec[static_cast<int>(codec)] = path_schedule_to_schedbin(g, sched, options);
+    }
+    const std::string& delta = by_codec[static_cast<int>(SchedBinCodec::kDelta)];
+    const double ratio =
+        static_cast<double>(xml.size()) / static_cast<double>(delta.size());
+    worst_ratio = std::min(worst_ratio, ratio);
+    sizes.row()
+        .cell(c.name)
+        .cell(static_cast<long long>(sched.entries.size()))
+        .cell(static_cast<double>(xml.size()) / 1024.0, 1)
+        .cell(static_cast<double>(by_codec[0].size()) / 1024.0, 1)
+        .cell(static_cast<double>(by_codec[1].size()) / 1024.0, 1)
+        .cell(static_cast<double>(delta.size()) / 1024.0, 1)
+        .cell(ratio, 1);
+
+    SchedBinOptions serial;
+    serial.codec = SchedBinCodec::kDelta;
+    SchedBinOptions threaded = serial;
+    threaded.chunk_words = 4096;  // enough chunks to spread across the pool
+    threaded.pool = &pool;
+    const double xml_enc = best_time([&] { (void)path_schedule_to_xml(g, sched); });
+    const double xml_dec = best_time([&] { (void)path_schedule_from_xml(g, xml); });
+    const double bin_enc =
+        best_time([&] { (void)path_schedule_to_schedbin(g, sched, serial); });
+    const double bin_dec =
+        best_time([&] { (void)path_schedule_from_schedbin(g, delta); });
+    const double bin_enc_mt =
+        best_time([&] { (void)path_schedule_to_schedbin(g, sched, threaded); });
+    const std::string delta_mt = path_schedule_to_schedbin(g, sched, threaded);
+    const double bin_dec_mt = best_time(
+        [&] { (void)path_schedule_from_schedbin(g, delta_mt, &pool); });
+    // Throughput normalized by the logical payload (the XML byte count), so
+    // the columns compare end-to-end schedule (de)serialization rates.
+    speeds.row()
+        .cell(c.name)
+        .cell(mbps(xml.size(), xml_enc), 1)
+        .cell(mbps(xml.size(), xml_dec), 1)
+        .cell(mbps(xml.size(), bin_enc), 1)
+        .cell(mbps(xml.size(), bin_dec), 1)
+        .cell(mbps(xml.size(), bin_enc_mt), 1)
+        .cell(mbps(xml.size(), bin_dec_mt), 1);
+  }
+  sizes.print(std::cout);
+  std::cout << "\nworst xml/delta compression ratio: " << worst_ratio
+            << (worst_ratio >= 5.0 ? "  (meets the >=5x target)" : "  (BELOW 5x!)")
+            << "\n\n=== schedule (de)serialization throughput (logical MB/s) "
+               "===\n\n";
+  speeds.print(std::cout);
+
+  std::cout << "\n=== ScheduleCache: repeat generate_schedule() cost ===\n\n";
+  Table cache_table({"topology", "pipeline s", "cached s", "speedup"});
+  ScheduleCache cache;
+  for (Case& c : fig10_cases()) {
+    if (c.graph.num_nodes() > 32) continue;  // keep the demo quick
+    const double cold = timed(
+        [&] { (void)generate_schedule(c.graph, fabric, toolchain, &cache); });
+    const double warm = best_time(
+        [&] { (void)generate_schedule(c.graph, fabric, toolchain, &cache); });
+    cache_table.row().cell(c.name).cell(cold, 3).cell(warm, 6).cell(cold / warm, 0);
+  }
+  cache_table.print(std::cout);
+  std::cout << "\ncache stats: " << cache.stats().hits() << " hits, "
+            << cache.stats().misses << " misses\n";
+  return 0;
+}

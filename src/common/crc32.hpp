@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the SchedBin container to integrity-check every compressed chunk:
+// a schedule served from the on-disk cache must never silently decode a
+// corrupted artifact into a plausible-looking transfer list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace a2a {
+
+/// CRC-32 of `size` bytes starting at `data`, with an optional seed so the
+/// checksum can be accumulated across discontiguous buffers:
+///   crc = crc32(a); crc = crc32(b, crc);  == crc32(a||b).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace a2a

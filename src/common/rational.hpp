@@ -35,18 +35,43 @@ class Rational {
   }
   [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
 
+  // Arithmetic cross-multiplies through 128 bits after reducing by gcd, so
+  // intermediate products cannot overflow for any pair of normalized
+  // operands; only a result that truly exceeds int64 is rejected.
   friend Rational operator+(const Rational& a, const Rational& b) {
-    return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t bg = b.den_ / g;
+    return from_wide(Wide(a.num_) * bg + Wide(b.num_) * (a.den_ / g),
+                     Wide(a.den_) * bg);
   }
   friend Rational operator-(const Rational& a, const Rational& b) {
-    return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t bg = b.den_ / g;
+    return from_wide(Wide(a.num_) * bg - Wide(b.num_) * (a.den_ / g),
+                     Wide(a.den_) * bg);
   }
   friend Rational operator*(const Rational& a, const Rational& b) {
-    return Rational(a.num_ * b.num_, a.den_ * b.den_);
+    // Cross-reduce first: gcd(|a.num|, b.den) and gcd(|b.num|, a.den) divide
+    // out, keeping the wide product as small as possible.
+    const auto g1 = static_cast<std::int64_t>(
+        std::gcd(u_abs(a.num_), static_cast<std::uint64_t>(b.den_)));
+    const auto g2 = static_cast<std::int64_t>(
+        std::gcd(u_abs(b.num_), static_cast<std::uint64_t>(a.den_)));
+    return from_wide(Wide(a.num_ / g1) * (b.num_ / g2),
+                     Wide(a.den_ / g2) * (b.den_ / g1));
   }
   friend Rational operator/(const Rational& a, const Rational& b) {
     A2A_REQUIRE(b.num_ != 0, "rational division by zero");
-    return Rational(a.num_ * b.den_, a.den_ * b.num_);
+    // Skip the cross-reduction in the one case its gcd exceeds int64 (both
+    // numerators INT64_MIN); the 128-bit products still cannot overflow.
+    const std::uint64_t g1u = std::gcd(u_abs(a.num_), u_abs(b.num_));
+    const std::int64_t g1 =
+        g1u > static_cast<std::uint64_t>(INT64_MAX)
+            ? 1
+            : static_cast<std::int64_t>(g1u);
+    const std::int64_t g2 = std::gcd(b.den_, a.den_);
+    return from_wide(Wide(a.num_ / g1) * (b.den_ / g2),
+                     Wide(a.den_ / g2) * (b.num_ / g1));
   }
   Rational& operator+=(const Rational& o) { return *this = *this + o; }
   Rational& operator-=(const Rational& o) { return *this = *this - o; }
@@ -56,7 +81,11 @@ class Rational {
   }
   friend std::strong_ordering operator<=>(const Rational& a,
                                           const Rational& b) {
-    return a.num_ * b.den_ <=> b.num_ * a.den_;
+    const Wide lhs = Wide(a.num_) * b.den_;
+    const Wide rhs = Wide(b.num_) * a.den_;
+    return lhs < rhs   ? std::strong_ordering::less
+           : lhs > rhs ? std::strong_ordering::greater
+                       : std::strong_ordering::equal;
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
@@ -72,8 +101,9 @@ class Rational {
     A2A_REQUIRE(a.num_ >= 0 && b.num_ >= 0, "gcd of negative rationals");
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
-    const std::int64_t n = std::gcd(a.num_ * b.den_, b.num_ * a.den_);
-    return Rational(n, a.den_ * b.den_);
+    const UWide n = wide_gcd(UWide(a.num_) * UWide(b.den_),
+                             UWide(b.num_) * UWide(a.den_));
+    return from_wide(Wide(n), Wide(a.den_) * b.den_);
   }
 
   /// Best rational approximation of x with denominator at most `max_den`,
@@ -82,17 +112,68 @@ class Rational {
                                             std::int64_t max_den = 1'000'000);
 
  private:
-  void normalize() {
-    if (den_ < 0) {
-      num_ = -num_;
-      den_ = -den_;
+  // 128-bit intermediates for overflow-free cross-multiplication. __int128
+  // is not std::integral in strict mode, so gcd is hand-rolled.
+  using Wide = __int128;
+  using UWide = unsigned __int128;
+
+  /// |v| without the INT64_MIN negation UB.
+  static constexpr std::uint64_t u_abs(std::int64_t v) {
+    return v < 0 ? 0 - static_cast<std::uint64_t>(v)
+                 : static_cast<std::uint64_t>(v);
+  }
+
+  static constexpr UWide wide_gcd(UWide a, UWide b) {
+    while (b != 0) {
+      const UWide r = a % b;
+      a = b;
+      b = r;
     }
-    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    return a;
+  }
+
+  /// Normalizes num/den (den != 0) from 128-bit intermediates, rejecting
+  /// results whose reduced form does not fit in int64.
+  static Rational from_wide(Wide num, Wide den) {
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const bool negative = num < 0;
+    UWide un = negative ? UWide(0) - UWide(num) : UWide(num);
+    UWide ud = UWide(den);
+    const UWide g = wide_gcd(un, ud);
     if (g > 1) {
-      num_ /= g;
-      den_ /= g;
+      un /= g;
+      ud /= g;
     }
-    if (num_ == 0) den_ = 1;
+    constexpr auto kMax = UWide(INT64_MAX);
+    A2A_REQUIRE(ud <= kMax && un <= (negative ? kMax + 1 : kMax),
+                "rational overflow: reduced value exceeds int64");
+    Rational r;
+    r.num_ = negative ? (un == kMax + 1 ? INT64_MIN
+                                        : -static_cast<std::int64_t>(un))
+                      : static_cast<std::int64_t>(un);
+    r.den_ = un == 0 ? 1 : static_cast<std::int64_t>(ud);
+    return r;
+  }
+
+  void normalize() {
+    const bool negative = (num_ < 0) != (den_ < 0);
+    std::uint64_t un = u_abs(num_);
+    std::uint64_t ud = u_abs(den_);
+    const std::uint64_t g = std::gcd(un, ud);
+    if (g > 1) {
+      un /= g;
+      ud /= g;
+    }
+    constexpr auto kMax = static_cast<std::uint64_t>(INT64_MAX);
+    A2A_REQUIRE(ud <= kMax && un <= (negative ? kMax + 1 : kMax),
+                "rational overflow: reduced value exceeds int64");
+    num_ = negative ? (un == kMax + 1 ? INT64_MIN
+                                      : -static_cast<std::int64_t>(un))
+                    : static_cast<std::int64_t>(un);
+    den_ = un == 0 ? 1 : static_cast<std::int64_t>(ud);
   }
 
   std::int64_t num_ = 0;

@@ -1,0 +1,62 @@
+// LEB128 variable-length integers and ZigZag signed mapping.
+//
+// The SchedBin delta codec stores successive differences of schedule columns;
+// deltas are small signed integers, so ZigZag + LEB128 packs most of them
+// into one byte. Header-only: these are one-liner hot loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+/// ZigZag maps signed to unsigned so small-magnitude values stay small:
+/// 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (0 - (u & 1)));
+}
+
+/// Appends `v` to `out` as LEB128 (7 value bits per byte, MSB = continue).
+inline void append_uvarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Reads a LEB128 value from `data` at `pos`, advancing `pos`. Throws
+/// InvalidArgument on truncated or over-long (> 10 byte) encodings.
+[[nodiscard]] inline std::uint64_t read_uvarint(const char* data,
+                                                std::size_t size,
+                                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    A2A_REQUIRE(pos < size, "truncated varint");
+    A2A_REQUIRE(shift < 64, "varint overflows 64 bits");
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+inline void append_svarint(std::string& out, std::int64_t v) {
+  append_uvarint(out, zigzag_encode(v));
+}
+
+[[nodiscard]] inline std::int64_t read_svarint(const char* data,
+                                               std::size_t size,
+                                               std::size_t& pos) {
+  return zigzag_decode(read_uvarint(data, size, pos));
+}
+
+}  // namespace a2a

@@ -13,7 +13,22 @@ const std::string& XmlNode::attr(const std::string& key) const {
 }
 
 long long XmlNode::attr_int(const std::string& key) const {
-  return std::stoll(attr(key));
+  const std::string& value = attr(key);
+  try {
+    std::size_t consumed = 0;
+    const long long parsed = std::stoll(value, &consumed);
+    A2A_REQUIRE(consumed == value.size(), "attribute ", key, "=\"", value,
+                "\" on <", name, "> has trailing non-numeric characters");
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument(detail::concat("attribute ", key, "=\"", value,
+                                         "\" on <", name,
+                                         "> is not an integer"));
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument(detail::concat("attribute ", key, "=\"", value,
+                                         "\" on <", name,
+                                         "> overflows long long"));
+  }
 }
 
 std::vector<const XmlNode*> XmlNode::children_named(
@@ -34,6 +49,7 @@ void escape_into(std::ostream& os, const std::string& s) {
       case '<': os << "&lt;"; break;
       case '>': os << "&gt;"; break;
       case '"': os << "&quot;"; break;
+      case '\'': os << "&apos;"; break;
       default: os << c;
     }
   }

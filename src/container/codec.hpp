@@ -1,0 +1,39 @@
+// Pluggable word codecs for the SchedBin container.
+//
+// A schedule is flattened into a column-major stream of int64 "words"
+// (src column, dst column, step column, ...). Transfer records are highly
+// repetitive — sorted src columns are long runs, step columns are almost
+// monotone — so run-length and delta coding shrink them dramatically. Each
+// codec maps a span of words to bytes and back; chunking, checksumming and
+// threading live one layer up in schedbin.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+enum class SchedBinCodec : std::uint8_t {
+  kRaw = 0,    ///< little-endian 8 bytes per word.
+  kRle = 1,    ///< (zigzag-varint value, varint run-length) pairs.
+  kDelta = 2,  ///< zigzag-varint of successive differences.
+};
+
+[[nodiscard]] const char* codec_name(SchedBinCodec codec);
+
+/// Parses "raw" | "rle" | "delta". Throws InvalidArgument on anything else.
+[[nodiscard]] SchedBinCodec codec_from_name(const std::string& name);
+
+/// Compresses `count` words into `out` (appended).
+void encode_words(SchedBinCodec codec, const std::int64_t* words,
+                  std::size_t count, std::string& out);
+
+/// Decompresses exactly `count` words from data[0, size) into `out`.
+/// Throws InvalidArgument when the payload is malformed or does not contain
+/// exactly `count` words.
+void decode_words(SchedBinCodec codec, const char* data, std::size_t size,
+                  std::int64_t* out, std::size_t count);
+
+}  // namespace a2a

@@ -1,0 +1,51 @@
+// Columnar flattening of schedules for the SchedBin container.
+//
+// SchedBin codecs operate on a flat stream of int64 words. A schedule is
+// laid out column-major — all src values, then all dst values, ... — so that
+// delta and run-length coding see the per-column regularity (compile order
+// groups transfers by step and source) instead of interleaved noise.
+//
+// Link layout (9 columns × T transfers):
+//   src | dst | lo_num | lo_den | hi_num | hi_den | from | to | step
+//
+// Path layout (6 columns × R routes, then the ragged node lists):
+//   src | dst | weight_bits | num_chunks | layer | path_len
+//   followed by the concatenation of every route's node sequence
+//   (path_len nodes each, including endpoints; 0 for an empty path).
+//
+// weight_bits is the IEEE-754 bit pattern of RouteEntry::weight, so path
+// schedules round-trip bit-exactly (unlike the XML dialect, which snaps
+// weights to bounded-denominator rationals).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+inline constexpr std::size_t kLinkColumns = 9;
+inline constexpr std::size_t kPathColumns = 6;
+
+[[nodiscard]] std::vector<std::int64_t> link_schedule_to_words(
+    const LinkSchedule& schedule);
+
+/// Rebuilds a LinkSchedule from `record_count` transfers flattened by
+/// link_schedule_to_words. num_nodes/num_steps come from the container
+/// header. Throws InvalidArgument when the word count does not match.
+[[nodiscard]] LinkSchedule link_schedule_from_words(
+    const std::vector<std::int64_t>& words, int num_nodes, int num_steps,
+    std::size_t record_count);
+
+[[nodiscard]] std::vector<std::int64_t> path_schedule_to_words(
+    const DiGraph& g, const PathSchedule& schedule);
+
+/// Rebuilds a PathSchedule against `g` (route node sequences are resolved
+/// back to edge ids, rejecting non-edges like the XML reader does).
+[[nodiscard]] PathSchedule path_schedule_from_words(
+    const DiGraph& g, const std::vector<std::int64_t>& words, int num_nodes,
+    const Rational& chunk_unit, std::size_t record_count);
+
+}  // namespace a2a

@@ -1,0 +1,218 @@
+#include "container/schedbin.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "common/crc32.hpp"
+#include "common/thread_pool.hpp"
+#include "container/columnar.hpp"
+
+namespace a2a {
+
+namespace {
+
+using binio::get_uint;
+using binio::put_u16;
+using binio::put_u32;
+using binio::put_u64;
+
+constexpr std::size_t kHeaderBytes = 56;
+constexpr std::size_t kDirEntryBytes = 8;
+
+/// Generous ceiling on payload words (8 TiB raw): headers claiming more are
+/// corrupt, and rejecting them here keeps the error contract (InvalidArgument,
+/// not std::length_error from a wild vector allocation).
+constexpr std::uint64_t kMaxWordCount = 1ULL << 40;
+
+std::size_t chunk_count(std::uint64_t word_count, std::uint32_t chunk_words) {
+  // word_count is validated <= kMaxWordCount before use, so no overflow.
+  return static_cast<std::size_t>((word_count + chunk_words - 1) / chunk_words);
+}
+
+std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
+                             const Rational& chunk_unit,
+                             std::uint64_t record_count,
+                             const std::vector<std::int64_t>& words,
+                             const SchedBinOptions& options) {
+  A2A_REQUIRE(options.chunk_words > 0, "chunk_words must be positive");
+  (void)codec_name(options.codec);  // validates the codec id.
+  const std::size_t chunks = chunk_count(words.size(), options.chunk_words);
+
+  // Compress every chunk independently (parallel when a pool is supplied).
+  std::vector<std::string> payloads(chunks);
+  const auto compress_one = [&](std::size_t c) {
+    const std::size_t lo = c * options.chunk_words;
+    const std::size_t hi = std::min(words.size(), lo + options.chunk_words);
+    encode_words(options.codec, words.data() + lo, hi - lo, payloads[c]);
+  };
+  if (options.pool != nullptr && chunks > 1) {
+    options.pool->parallel_for(chunks, compress_one);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) compress_one(c);
+  }
+
+  std::string out;
+  std::size_t payload_bytes = 0;
+  for (const std::string& p : payloads) payload_bytes += p.size();
+  out.reserve(kHeaderBytes + chunks * kDirEntryBytes + payload_bytes);
+
+  out.append(kSchedBinMagic, sizeof(kSchedBinMagic));
+  put_u16(out, kSchedBinVersion);
+  out.push_back(static_cast<char>(kind));
+  out.push_back(static_cast<char>(options.codec));
+  put_u32(out, static_cast<std::uint32_t>(num_nodes));
+  put_u32(out, static_cast<std::uint32_t>(num_steps));
+  put_u64(out, record_count);
+  put_u64(out, words.size());
+  put_u64(out, static_cast<std::uint64_t>(chunk_unit.num()));
+  put_u64(out, static_cast<std::uint64_t>(chunk_unit.den()));
+  put_u32(out, options.chunk_words);
+  put_u32(out, static_cast<std::uint32_t>(chunks));
+  for (const std::string& p : payloads) {
+    put_u32(out, static_cast<std::uint32_t>(p.size()));
+    put_u32(out, crc32(p.data(), p.size()));
+  }
+  for (const std::string& p : payloads) out.append(p);
+  return out;
+}
+
+struct ParsedContainer {
+  SchedBinInfo info;
+  /// Byte offset of each chunk's payload within the container.
+  std::vector<std::size_t> chunk_offsets;
+  std::vector<std::uint32_t> chunk_sizes;
+  std::vector<std::uint32_t> chunk_crcs;
+};
+
+ParsedContainer parse_container(std::string_view bytes) {
+  A2A_REQUIRE(bytes.size() >= kHeaderBytes,
+              "SchedBin blob too small: ", bytes.size(), " bytes");
+  A2A_REQUIRE(std::memcmp(bytes.data(), kSchedBinMagic,
+                          sizeof(kSchedBinMagic)) == 0,
+              "bad SchedBin magic");
+  ParsedContainer pc;
+  SchedBinInfo& info = pc.info;
+  info.version = static_cast<std::uint16_t>(get_uint(bytes, 4, 2));
+  A2A_REQUIRE(info.version == kSchedBinVersion, "unsupported SchedBin version ",
+              info.version);
+  const auto kind = static_cast<std::uint8_t>(bytes[6]);
+  A2A_REQUIRE(kind == static_cast<std::uint8_t>(SchedBinKind::kLink) ||
+                  kind == static_cast<std::uint8_t>(SchedBinKind::kPath),
+              "unknown SchedBin kind ", int(kind));
+  info.kind = static_cast<SchedBinKind>(kind);
+  info.codec = static_cast<SchedBinCodec>(bytes[7]);
+  (void)codec_name(info.codec);
+  info.num_nodes = static_cast<int>(get_uint(bytes, 8, 4));
+  info.num_steps = static_cast<int>(get_uint(bytes, 12, 4));
+  info.record_count = get_uint(bytes, 16, 8);
+  info.word_count = get_uint(bytes, 24, 8);
+  const auto cu_num = static_cast<std::int64_t>(get_uint(bytes, 32, 8));
+  const auto cu_den = static_cast<std::int64_t>(get_uint(bytes, 40, 8));
+  A2A_REQUIRE(cu_den != 0, "SchedBin chunk_unit with zero denominator");
+  info.chunk_unit = Rational(cu_num, cu_den);
+  info.chunk_words = static_cast<std::uint32_t>(get_uint(bytes, 48, 4));
+  info.num_chunks = static_cast<std::uint32_t>(get_uint(bytes, 52, 4));
+  A2A_REQUIRE(info.chunk_words > 0, "SchedBin chunk_words is zero");
+  A2A_REQUIRE(info.word_count <= kMaxWordCount,
+              "SchedBin word count ", info.word_count, " is implausibly large");
+  A2A_REQUIRE(info.num_chunks == chunk_count(info.word_count, info.chunk_words),
+              "SchedBin chunk count ", info.num_chunks,
+              " inconsistent with word count ", info.word_count);
+
+  const std::size_t dir_end =
+      kHeaderBytes + static_cast<std::size_t>(info.num_chunks) * kDirEntryBytes;
+  A2A_REQUIRE(bytes.size() >= dir_end, "SchedBin directory truncated");
+  std::size_t offset = dir_end;
+  pc.chunk_offsets.reserve(info.num_chunks);
+  pc.chunk_sizes.reserve(info.num_chunks);
+  pc.chunk_crcs.reserve(info.num_chunks);
+  for (std::uint32_t c = 0; c < info.num_chunks; ++c) {
+    const std::size_t entry = kHeaderBytes + c * kDirEntryBytes;
+    const auto size = static_cast<std::uint32_t>(get_uint(bytes, entry, 4));
+    pc.chunk_offsets.push_back(offset);
+    pc.chunk_sizes.push_back(size);
+    pc.chunk_crcs.push_back(static_cast<std::uint32_t>(get_uint(bytes, entry + 4, 4)));
+    offset += size;
+    info.payload_bytes += size;
+  }
+  A2A_REQUIRE(offset == bytes.size(), "SchedBin payload size mismatch: ",
+              offset, " expected vs ", bytes.size(), " actual");
+  info.total_bytes = bytes.size();
+  return pc;
+}
+
+std::vector<std::int64_t> decode_payload(std::string_view bytes,
+                                         const ParsedContainer& pc,
+                                         ThreadPool* pool) {
+  const SchedBinInfo& info = pc.info;
+  std::vector<std::int64_t> words(info.word_count);
+  const auto decode_one = [&](std::size_t c) {
+    const char* data = bytes.data() + pc.chunk_offsets[c];
+    const std::size_t size = pc.chunk_sizes[c];
+    A2A_REQUIRE(crc32(data, size) == pc.chunk_crcs[c],
+                "SchedBin chunk ", c, " failed CRC check");
+    const std::size_t lo = c * info.chunk_words;
+    const std::size_t hi =
+        std::min<std::size_t>(info.word_count, lo + info.chunk_words);
+    decode_words(info.codec, data, size, words.data() + lo, hi - lo);
+  };
+  if (pool != nullptr && info.num_chunks > 1) {
+    pool->parallel_for(info.num_chunks, decode_one);
+  } else {
+    for (std::size_t c = 0; c < info.num_chunks; ++c) decode_one(c);
+  }
+  return words;
+}
+
+}  // namespace
+
+std::string link_schedule_to_schedbin(const LinkSchedule& schedule,
+                                      const SchedBinOptions& options) {
+  return encode_container(SchedBinKind::kLink, schedule.num_nodes,
+                          schedule.num_steps, Rational(0),
+                          schedule.transfers.size(),
+                          link_schedule_to_words(schedule), options);
+}
+
+LinkSchedule link_schedule_from_schedbin(std::string_view bytes,
+                                         ThreadPool* pool) {
+  const ParsedContainer pc = parse_container(bytes);
+  A2A_REQUIRE(pc.info.kind == SchedBinKind::kLink,
+              "not a link-schedule SchedBin");
+  const std::vector<std::int64_t> words = decode_payload(bytes, pc, pool);
+  return link_schedule_from_words(words, pc.info.num_nodes, pc.info.num_steps,
+                                  static_cast<std::size_t>(pc.info.record_count));
+}
+
+std::string path_schedule_to_schedbin(const DiGraph& g,
+                                      const PathSchedule& schedule,
+                                      const SchedBinOptions& options) {
+  return encode_container(SchedBinKind::kPath, schedule.num_nodes, 0,
+                          schedule.chunk_unit, schedule.entries.size(),
+                          path_schedule_to_words(g, schedule), options);
+}
+
+PathSchedule path_schedule_from_schedbin(const DiGraph& g,
+                                         std::string_view bytes,
+                                         ThreadPool* pool) {
+  const ParsedContainer pc = parse_container(bytes);
+  A2A_REQUIRE(pc.info.kind == SchedBinKind::kPath,
+              "not a path-schedule SchedBin");
+  const std::vector<std::int64_t> words = decode_payload(bytes, pc, pool);
+  return path_schedule_from_words(g, words, pc.info.num_nodes,
+                                  pc.info.chunk_unit,
+                                  static_cast<std::size_t>(pc.info.record_count));
+}
+
+SchedBinInfo schedbin_inspect(std::string_view bytes) {
+  const ParsedContainer pc = parse_container(bytes);
+  for (std::uint32_t c = 0; c < pc.info.num_chunks; ++c) {
+    A2A_REQUIRE(crc32(bytes.data() + pc.chunk_offsets[c], pc.chunk_sizes[c]) ==
+                    pc.chunk_crcs[c],
+                "SchedBin chunk ", c, " failed CRC check");
+  }
+  return pc.info;
+}
+
+}  // namespace a2a

@@ -1,0 +1,96 @@
+// SchedBin — a chunked, integrity-checked binary container for schedules.
+//
+// The XML dialects of §4 are the lowering interchange format, but at
+// production scale (many topologies × fabrics × chunking grids, served to
+// many consumers) they are too large and too slow to parse. SchedBin stores
+// the same schedules as a compact little-endian artifact, modeled on the
+// chunked-frame design of Blosc2: a fixed header, a chunk directory, and
+// independently compressed chunks that can be (de)compressed in parallel
+// and are each guarded by a CRC-32.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "SBIN"
+//   4       2     version (currently 1)
+//   6       1     kind           (1 = link schedule, 2 = path schedule)
+//   7       1     codec id       (see SchedBinCodec)
+//   8       4     num_nodes
+//   12      4     num_steps      (link) / 0 (path)
+//   16      8     record_count   (transfers / route entries)
+//   24      8     word_count     (total int64 words in the payload stream)
+//   32      8     chunk_unit num (path) / 0 (link)
+//   40      8     chunk_unit den (path) / 1 (link)
+//   48      4     chunk_words    (words per chunk; last chunk may be short)
+//   52      4     num_chunks
+//   56      -     directory: num_chunks × { u32 compressed_bytes, u32 crc32 }
+//   ...     -     compressed chunk payloads, concatenated in order
+//
+// The payload stream is the columnar flattening of columnar.hpp. Chunks are
+// fixed word-count slices of that stream, so decode offsets are computable
+// from the directory alone and every chunk decodes independently — the
+// multithreaded path hands one chunk per thread-pool task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "container/codec.hpp"
+#include "graph/digraph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace a2a {
+
+class ThreadPool;
+
+inline constexpr char kSchedBinMagic[4] = {'S', 'B', 'I', 'N'};
+inline constexpr std::uint16_t kSchedBinVersion = 1;
+
+enum class SchedBinKind : std::uint8_t { kLink = 1, kPath = 2 };
+
+struct SchedBinOptions {
+  SchedBinCodec codec = SchedBinCodec::kDelta;
+  /// Words per chunk. The default (64Ki words = 512 KiB raw) keeps chunk
+  /// count low for small schedules while giving large ones enough chunks to
+  /// saturate the pool.
+  std::uint32_t chunk_words = 64 * 1024;
+  /// Optional pool for parallel per-chunk compression; serial when null.
+  ThreadPool* pool = nullptr;
+};
+
+/// Parsed header + derived facts, for tooling (`schedgen --inspect`) and
+/// cache validation without a full decode.
+struct SchedBinInfo {
+  std::uint16_t version = 0;
+  SchedBinKind kind = SchedBinKind::kLink;
+  SchedBinCodec codec = SchedBinCodec::kRaw;
+  int num_nodes = 0;
+  int num_steps = 0;          ///< link only.
+  Rational chunk_unit{0};     ///< path only.
+  std::uint64_t record_count = 0;
+  std::uint64_t word_count = 0;
+  std::uint32_t chunk_words = 0;
+  std::uint32_t num_chunks = 0;
+  std::size_t total_bytes = 0;       ///< whole container.
+  std::size_t payload_bytes = 0;     ///< compressed chunks only.
+};
+
+[[nodiscard]] std::string link_schedule_to_schedbin(
+    const LinkSchedule& schedule, const SchedBinOptions& options = {});
+
+[[nodiscard]] LinkSchedule link_schedule_from_schedbin(
+    std::string_view bytes, ThreadPool* pool = nullptr);
+
+[[nodiscard]] std::string path_schedule_to_schedbin(
+    const DiGraph& g, const PathSchedule& schedule,
+    const SchedBinOptions& options = {});
+
+[[nodiscard]] PathSchedule path_schedule_from_schedbin(
+    const DiGraph& g, std::string_view bytes, ThreadPool* pool = nullptr);
+
+/// Validates magic/version/structure and every chunk CRC without decoding.
+/// Throws InvalidArgument on any corruption.
+[[nodiscard]] SchedBinInfo schedbin_inspect(std::string_view bytes);
+
+}  // namespace a2a

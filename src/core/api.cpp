@@ -1,7 +1,9 @@
 #include "core/api.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "core/schedule_cache.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/augment.hpp"
 #include "mcf/path_mcf.hpp"
@@ -11,6 +13,14 @@
 #include "schedule/compile_path.hpp"
 
 namespace a2a {
+
+namespace {
+std::atomic<std::uint64_t> g_pipeline_invocations{0};
+}  // namespace
+
+std::uint64_t pipeline_invocations() {
+  return g_pipeline_invocations.load(std::memory_order_relaxed);
+}
 
 long long estimate_path_diversity(const DiGraph& g, int samples) {
   const int lmax = diameter(g) + 2;
@@ -30,7 +40,24 @@ long long estimate_path_diversity(const DiGraph& g, int samples) {
 
 GeneratedSchedule generate_schedule(const DiGraph& topology,
                                     const Fabric& fabric,
+                                    const ToolchainOptions& options,
+                                    ScheduleCache* cache) {
+  if (cache == nullptr) return generate_schedule(topology, fabric, options);
+  const std::string fingerprint =
+      schedule_fingerprint(topology, fabric, options);
+  if (auto cached = cache->lookup(fingerprint)) {
+    cached->from_cache = true;
+    return std::move(*cached);
+  }
+  GeneratedSchedule result = generate_schedule(topology, fabric, options);
+  cache->insert(fingerprint, result);
+  return result;
+}
+
+GeneratedSchedule generate_schedule(const DiGraph& topology,
+                                    const Fabric& fabric,
                                     const ToolchainOptions& options) {
+  g_pipeline_invocations.fetch_add(1, std::memory_order_relaxed);
   GeneratedSchedule out;
   const int n = topology.num_nodes();
   const int degree = topology.max_out_degree();

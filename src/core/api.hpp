@@ -11,6 +11,7 @@
 //     extraction (MCF-extP), with LASH-sequential VC layers assigned.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -21,6 +22,8 @@
 #include "schedule/schedule.hpp"
 
 namespace a2a {
+
+class ScheduleCache;
 
 enum class ScheduleKind { kLinkTsMcf, kLinkUnrolled, kPathPMcf, kPathExtracted };
 
@@ -53,12 +56,27 @@ struct GeneratedSchedule {
   /// The graph the schedule addresses (the augmented graph when applicable).
   DiGraph schedule_graph;
   std::string notes;
+  /// True when the result was served from a ScheduleCache tier instead of
+  /// the LP/MCF pipeline.
+  bool from_cache = false;
 };
 
 /// End-to-end schedule generation per Fig. 1.
 [[nodiscard]] GeneratedSchedule generate_schedule(const DiGraph& topology,
                                                   const Fabric& fabric,
                                                   const ToolchainOptions& options = {});
+
+/// Cache-aware variant: keys the request by schedule_fingerprint() and only
+/// runs the Fig. 1 pipeline on a miss, storing the result afterwards. With
+/// a null cache this is identical to the three-argument overload.
+[[nodiscard]] GeneratedSchedule generate_schedule(const DiGraph& topology,
+                                                  const Fabric& fabric,
+                                                  const ToolchainOptions& options,
+                                                  ScheduleCache* cache);
+
+/// Number of times the LP/MCF pipeline actually ran in this process (cache
+/// hits do not count). Monotone; used by tests to assert cache bypass.
+[[nodiscard]] std::uint64_t pipeline_invocations();
 
 /// Estimates whether the topology's path diversity is "large" (Fig. 1):
 /// maximum bounded-length path count over a sample of pairs.

@@ -1,0 +1,341 @@
+#include "core/schedule_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/binio.hpp"
+#include "common/crc32.hpp"
+
+namespace a2a {
+
+namespace {
+
+using binio::put_u16;
+using binio::put_u32;
+using binio::put_u64;
+using binio::read_uint;
+
+// ----------------------------------------------------------- fingerprint ---
+
+/// FNV-1a over `data` from an arbitrary seed; two seeds give 128 bits.
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void feed_u64(std::string& buf, std::uint64_t v) { put_u64(buf, v); }
+void feed_i64(std::string& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+void feed_double(std::string& buf, double v) {
+  put_u64(buf, std::bit_cast<std::uint64_t>(v));
+}
+void feed_str(std::string& buf, const std::string& s) {
+  feed_u64(buf, s.size());
+  buf.append(s);
+}
+
+std::string hex128(std::uint64_t a, std::uint64_t b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint64_t v : {a, b}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(digits[(v >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ graph serializers ---
+
+void feed_graph(std::string& buf, const DiGraph& g) {
+  feed_u64(buf, static_cast<std::uint64_t>(g.num_nodes()));
+  struct CanonEdge {
+    NodeId from;
+    NodeId to;
+    std::uint64_t cap_bits;
+    auto operator<=>(const CanonEdge&) const = default;
+  };
+  std::vector<CanonEdge> canon;
+  canon.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    canon.push_back({e.from, e.to, std::bit_cast<std::uint64_t>(e.capacity)});
+  }
+  std::sort(canon.begin(), canon.end());
+  for (const CanonEdge& e : canon) {
+    feed_i64(buf, e.from);
+    feed_i64(buf, e.to);
+    feed_u64(buf, e.cap_bits);
+  }
+}
+
+void write_graph(std::string& out, const DiGraph& g) {
+  put_u32(out, static_cast<std::uint32_t>(g.num_nodes()));
+  put_u32(out, static_cast<std::uint32_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    put_u32(out, static_cast<std::uint32_t>(e.from));
+    put_u32(out, static_cast<std::uint32_t>(e.to));
+    put_u64(out, std::bit_cast<std::uint64_t>(e.capacity));
+  }
+}
+
+DiGraph read_graph(std::string_view bytes, std::size_t& pos) {
+  const auto num_nodes = static_cast<int>(read_uint(bytes, pos, 4));
+  const auto num_edges = static_cast<std::uint32_t>(read_uint(bytes, pos, 4));
+  DiGraph g(num_nodes);
+  for (std::uint32_t i = 0; i < num_edges; ++i) {
+    const auto from = static_cast<NodeId>(read_uint(bytes, pos, 4));
+    const auto to = static_cast<NodeId>(read_uint(bytes, pos, 4));
+    const double cap = std::bit_cast<double>(read_uint(bytes, pos, 8));
+    g.add_edge(from, to, cap);
+  }
+  return g;
+}
+
+constexpr char kEntryMagic[4] = {'S', 'B', 'C', 'E'};
+constexpr std::uint16_t kEntryVersion = 1;
+
+}  // namespace
+
+std::string schedule_fingerprint(const DiGraph& topology, const Fabric& fabric,
+                                 const ToolchainOptions& options) {
+  std::string buf;
+  buf.reserve(64 + static_cast<std::size_t>(topology.num_edges()) * 24);
+  feed_graph(buf, topology);
+
+  feed_str(buf, fabric.name);
+  feed_double(buf, fabric.link_GBps);
+  feed_double(buf, fabric.injection_GBps);
+  feed_u64(buf, fabric.nic_forwarding ? 1 : 0);
+  feed_u64(buf, static_cast<std::uint64_t>(fabric.flow_control));
+  feed_double(buf, fabric.step_sync_s);
+  feed_double(buf, fabric.per_chunk_s);
+  feed_double(buf, fabric.hop_latency_s);
+  feed_double(buf, fabric.qp_knee);
+  feed_double(buf, fabric.qp_penalty);
+
+  feed_i64(buf, options.exact_tsmcf_limit);
+  feed_i64(buf, options.path_diversity_threshold);
+  feed_u64(buf, static_cast<std::uint64_t>(options.mcf.master));
+  feed_u64(buf, static_cast<std::uint64_t>(options.mcf.child));
+  feed_i64(buf, options.mcf.exact_master_limit);
+  feed_double(buf, options.mcf.fptas_epsilon);
+  feed_i64(buf, options.mcf.lp.max_iterations);
+  feed_i64(buf, options.mcf.lp.refactor_interval);
+  feed_double(buf, options.mcf.lp.feasibility_tol);
+  feed_double(buf, options.mcf.lp.optimality_tol);
+  feed_double(buf, options.mcf.lp.pivot_tol);
+  feed_i64(buf, options.mcf.lp.stall_limit);
+  feed_double(buf, options.mcf.fptas.epsilon);
+  feed_i64(buf, options.mcf.fptas.max_phases);
+  // options.mcf.threads intentionally excluded: it changes wall time only.
+  feed_i64(buf, options.chunking.max_denominator);
+  feed_double(buf, options.chunking.min_fraction);
+  feed_i64(buf, options.vc_max_layers_warn);
+
+  return hex128(fnv1a(buf, 0), fnv1a(buf, 0x9e3779b97f4a7c15ULL));
+}
+
+// ------------------------------------------------------- entry envelope ---
+
+std::string generated_schedule_to_bytes(const GeneratedSchedule& schedule,
+                                        const SchedBinOptions& options) {
+  std::string out;
+  out.append(kEntryMagic, sizeof(kEntryMagic));
+  put_u16(out, kEntryVersion);
+  out.push_back(static_cast<char>(schedule.kind));
+  const bool has_link = schedule.link.has_value();
+  const bool has_path = schedule.path.has_value();
+  out.push_back(static_cast<char>((has_link ? 1 : 0) | (has_path ? 2 : 0)));
+  put_u64(out, std::bit_cast<std::uint64_t>(schedule.concurrent_flow));
+  put_u32(out, static_cast<std::uint32_t>(schedule.vc_layers));
+  put_u32(out, static_cast<std::uint32_t>(schedule.terminals.size()));
+  for (const NodeId t : schedule.terminals) {
+    put_u32(out, static_cast<std::uint32_t>(t));
+  }
+  write_graph(out, schedule.schedule_graph);
+  put_u32(out, static_cast<std::uint32_t>(schedule.notes.size()));
+  out.append(schedule.notes);
+
+  std::string blob;
+  if (has_link) {
+    blob = link_schedule_to_schedbin(*schedule.link, options);
+  } else if (has_path) {
+    blob = path_schedule_to_schedbin(schedule.schedule_graph, *schedule.path,
+                                     options);
+  }
+  put_u64(out, blob.size());
+  out.append(blob);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+GeneratedSchedule generated_schedule_from_bytes(std::string_view bytes) {
+  A2A_REQUIRE(bytes.size() >= sizeof(kEntryMagic) + 2 + 4,
+              "cache entry too small: ", bytes.size(), " bytes");
+  A2A_REQUIRE(bytes.substr(0, 4) == std::string_view(kEntryMagic, 4),
+              "bad cache entry magic");
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(binio::get_uint(bytes, bytes.size() - 4, 4));
+  A2A_REQUIRE(crc32(bytes.data(), bytes.size() - 4) == stored_crc,
+              "cache entry failed CRC check");
+
+  std::size_t pos = 4;
+  const auto version = static_cast<std::uint16_t>(read_uint(bytes, pos, 2));
+  A2A_REQUIRE(version == kEntryVersion, "unsupported cache entry version ",
+              version);
+  GeneratedSchedule out;
+  out.kind = static_cast<ScheduleKind>(read_uint(bytes, pos, 1));
+  const auto flags = static_cast<std::uint8_t>(read_uint(bytes, pos, 1));
+  out.concurrent_flow = std::bit_cast<double>(read_uint(bytes, pos, 8));
+  out.vc_layers = static_cast<int>(read_uint(bytes, pos, 4));
+  const auto num_terminals = static_cast<std::uint32_t>(read_uint(bytes, pos, 4));
+  out.terminals.reserve(num_terminals);
+  for (std::uint32_t i = 0; i < num_terminals; ++i) {
+    out.terminals.push_back(static_cast<NodeId>(read_uint(bytes, pos, 4)));
+  }
+  out.schedule_graph = read_graph(bytes, pos);
+  const auto notes_len = static_cast<std::uint32_t>(read_uint(bytes, pos, 4));
+  A2A_REQUIRE(pos + notes_len <= bytes.size(), "cache entry notes truncated");
+  out.notes.assign(bytes.substr(pos, notes_len));
+  pos += notes_len;
+  const std::uint64_t blob_len = read_uint(bytes, pos, 8);
+  A2A_REQUIRE(pos + blob_len + 4 == bytes.size(),
+              "cache entry blob length mismatch");
+  const std::string_view blob = bytes.substr(pos, blob_len);
+  if (flags & 1) {
+    out.link = link_schedule_from_schedbin(blob);
+  } else if (flags & 2) {
+    out.path = path_schedule_from_schedbin(out.schedule_graph, blob);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ the cache ---
+
+ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
+    : options_(std::move(options)) {
+  A2A_REQUIRE(options_.max_entries > 0, "cache capacity must be positive");
+}
+
+std::string ScheduleCache::entry_path(const std::string& fingerprint) const {
+  if (options_.disk_dir.empty()) return {};
+  return (std::filesystem::path(options_.disk_dir) / (fingerprint + ".schedbin"))
+      .string();
+}
+
+std::optional<GeneratedSchedule> ScheduleCache::lookup(
+    const std::string& fingerprint) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
+      ++stats_.memory_hits;
+      touch_locked(fingerprint);
+      return it->second.schedule;
+    }
+  }
+  // Disk read + decode happen outside the mutex so slow I/O never blocks
+  // other consumers' memory-tier hits.
+  const std::string path = entry_path(fingerprint);
+  if (!path.empty()) {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // A corrupt disk entry is a miss, not an error: the caller recompiles
+      // and overwrites it.
+      try {
+        GeneratedSchedule schedule = generated_schedule_from_bytes(buf.str());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_hits;
+        insert_memory_locked(fingerprint, schedule);
+        return schedule;
+      } catch (const Error&) {
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ScheduleCache::insert(const std::string& fingerprint,
+                           const GeneratedSchedule& schedule) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.insertions;
+    insert_memory_locked(fingerprint, schedule);
+  }
+  const std::string path = entry_path(fingerprint);
+  if (path.empty()) return;
+  // Serialization and file I/O stay outside the mutex. The tmp name is
+  // unique per process and per write so concurrent writers (threads or a
+  // fleet of processes) never interleave into one file; the final rename is
+  // atomic, so readers only ever see complete entries.
+  std::filesystem::create_directories(options_.disk_dir);
+  const std::string bytes =
+      generated_schedule_to_bytes(schedule, options_.schedbin);
+  static std::atomic<std::uint64_t> write_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(write_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    A2A_REQUIRE(out.good(), "cannot open cache file for writing: ", tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    A2A_REQUIRE(out.good(), "short write to cache file: ", tmp);
+  }
+  std::filesystem::rename(tmp, path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.disk_writes;
+}
+
+ScheduleCacheStats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ScheduleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+void ScheduleCache::touch_locked(const std::string& fingerprint) {
+  const auto it = entries_.find(fingerprint);
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(fingerprint);
+  it->second.lru_it = lru_.begin();
+}
+
+void ScheduleCache::insert_memory_locked(const std::string& fingerprint,
+                                         const GeneratedSchedule& schedule) {
+  if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
+    it->second.schedule = schedule;
+    touch_locked(fingerprint);
+    return;
+  }
+  lru_.push_front(fingerprint);
+  entries_.emplace(fingerprint, Entry{schedule, lru_.begin()});
+  while (entries_.size() > options_.max_entries) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace a2a

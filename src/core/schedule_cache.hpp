@@ -1,0 +1,107 @@
+// Schedule cache — memoizes generate_schedule() results.
+//
+// Compiling a schedule runs the LP/MCF pipeline, which is seconds-to-minutes
+// at Fig. 10 scale; at production scale the same (topology, fabric, options)
+// triple is requested over and over by many consumers. The cache keys
+// results by a fingerprint of the request's canonical form and serves them
+// from two tiers:
+//
+//   * an in-memory LRU of decoded GeneratedSchedule values, and
+//   * an optional on-disk tier of SchedBin-based entry files, so a fleet of
+//     processes (or a restarted one) shares compiled artifacts.
+//
+// All operations are thread-safe; hit/miss counters expose the behaviour to
+// tests and monitoring.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "container/schedbin.hpp"
+#include "core/api.hpp"
+
+namespace a2a {
+
+struct ScheduleCacheOptions {
+  /// Capacity of the in-memory LRU tier.
+  std::size_t max_entries = 64;
+  /// Directory for the on-disk tier ("" disables it). Created on first use.
+  std::string disk_dir;
+  /// Container settings for on-disk entries.
+  SchedBinOptions schedbin;
+};
+
+struct ScheduleCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t disk_writes = 0;
+
+  [[nodiscard]] std::uint64_t hits() const { return memory_hits + disk_hits; }
+};
+
+/// Fingerprint of a generate_schedule() request: a 128-bit hash (32 hex
+/// chars) over the topology's canonical form (node count + sorted edge list
+/// with capacities), every fabric field, and every semantically relevant
+/// ToolchainOptions field. Thread counts are excluded — they change wall
+/// time, not the schedule.
+[[nodiscard]] std::string schedule_fingerprint(const DiGraph& topology,
+                                               const Fabric& fabric,
+                                               const ToolchainOptions& options);
+
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(ScheduleCacheOptions options = {});
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  /// Returns the cached schedule for `fingerprint`, checking memory then
+  /// disk. A disk hit is promoted into the memory tier.
+  [[nodiscard]] std::optional<GeneratedSchedule> lookup(
+      const std::string& fingerprint);
+
+  /// Stores `schedule` in the memory tier (evicting LRU entries past
+  /// capacity) and, when a disk_dir is configured, writes the entry file.
+  void insert(const std::string& fingerprint, const GeneratedSchedule& schedule);
+
+  [[nodiscard]] ScheduleCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();  ///< drops the memory tier only; disk entries persist.
+
+  /// Path of the disk entry for a fingerprint ("" when disk tier disabled).
+  [[nodiscard]] std::string entry_path(const std::string& fingerprint) const;
+
+ private:
+  void touch_locked(const std::string& fingerprint);
+  void insert_memory_locked(const std::string& fingerprint,
+                            const GeneratedSchedule& schedule);
+
+  ScheduleCacheOptions options_;
+  mutable std::mutex mutex_;
+  /// MRU-first list of fingerprints plus value map (classic LRU pairing).
+  std::list<std::string> lru_;
+  struct Entry {
+    GeneratedSchedule schedule;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  ScheduleCacheStats stats_;
+};
+
+/// Serializes a GeneratedSchedule to the cache's disk-entry envelope: a
+/// small metadata block (kind, flow, VC layers, terminals, schedule graph,
+/// notes) wrapping the SchedBin blob of the schedule, CRC-32 guarded.
+/// Exposed for tests and offline tooling.
+[[nodiscard]] std::string generated_schedule_to_bytes(
+    const GeneratedSchedule& schedule, const SchedBinOptions& options = {});
+[[nodiscard]] GeneratedSchedule generated_schedule_from_bytes(
+    std::string_view bytes);
+
+}  // namespace a2a

@@ -1,0 +1,316 @@
+// SchedBin container round trips, codecs, and integrity checks.
+#include "container/schedbin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "common/varint.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/decomposed.hpp"
+#include "mcf/timestepped.hpp"
+#include "runtime/vc.hpp"
+#include "schedule/compile_link.hpp"
+#include "schedule/compile_path.hpp"
+#include "schedule/validate.hpp"
+#include "schedule/xml_io.hpp"
+
+namespace a2a {
+namespace {
+
+constexpr SchedBinCodec kAllCodecs[] = {SchedBinCodec::kRaw,
+                                        SchedBinCodec::kRle,
+                                        SchedBinCodec::kDelta};
+
+void expect_link_equal(const LinkSchedule& a, const LinkSchedule& b) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_steps, b.num_steps);
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    EXPECT_EQ(a.transfers[i].chunk, b.transfers[i].chunk);
+    EXPECT_EQ(a.transfers[i].from, b.transfers[i].from);
+    EXPECT_EQ(a.transfers[i].to, b.transfers[i].to);
+    EXPECT_EQ(a.transfers[i].step, b.transfers[i].step);
+  }
+}
+
+void expect_path_equal(const PathSchedule& a, const PathSchedule& b) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.chunk_unit, b.chunk_unit);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].src, b.entries[i].src);
+    EXPECT_EQ(a.entries[i].dst, b.entries[i].dst);
+    EXPECT_EQ(a.entries[i].path, b.entries[i].path);
+    // Bit-exact, unlike the XML dialect's rational snapping.
+    EXPECT_EQ(a.entries[i].weight, b.entries[i].weight);
+    EXPECT_EQ(a.entries[i].num_chunks, b.entries[i].num_chunks);
+    EXPECT_EQ(a.entries[i].layer, b.entries[i].layer);
+  }
+}
+
+/// A random (not necessarily valid) link schedule exercising negative ids,
+/// large rationals, and repeated values.
+LinkSchedule random_link_schedule(Rng& rng, int transfers) {
+  LinkSchedule s;
+  s.num_nodes = rng.next_int(1, 1000);
+  s.num_steps = rng.next_int(1, 100);
+  for (int i = 0; i < transfers; ++i) {
+    Transfer t;
+    t.chunk.src = rng.next_int(0, s.num_nodes);
+    t.chunk.dst = rng.next_int(0, s.num_nodes);
+    const std::int64_t den = rng.next_int(1, 360);
+    const std::int64_t lo = rng.next_int(0, static_cast<int>(den));
+    t.chunk.lo = Rational(lo, den);
+    t.chunk.hi = Rational(lo + rng.next_int(1, 24), den * rng.next_int(1, 4));
+    t.from = rng.next_int(0, s.num_nodes);
+    t.to = rng.next_int(0, s.num_nodes);
+    t.step = rng.next_int(1, s.num_steps + 1);
+    s.transfers.push_back(t);
+  }
+  return s;
+}
+
+/// A random path schedule on `g` whose routes are real random walks, so the
+/// node-sequence -> edge-id resolution on decode is exercised.
+PathSchedule random_path_schedule(const DiGraph& g, Rng& rng, int routes) {
+  PathSchedule s;
+  s.num_nodes = g.num_nodes();
+  s.chunk_unit = Rational(1, rng.next_int(1, 48));
+  for (int i = 0; i < routes; ++i) {
+    RouteEntry e;
+    NodeId u = rng.next_int(0, g.num_nodes());
+    e.src = u;
+    const int hops = rng.next_int(1, 5);
+    for (int h = 0; h < hops; ++h) {
+      const auto& out = g.out_edges(u);
+      if (out.empty()) break;
+      const EdgeId edge =
+          out[static_cast<std::size_t>(rng.next_int(0, static_cast<int>(out.size())))];
+      e.path.push_back(edge);
+      u = g.edge(edge).to;
+    }
+    if (e.path.empty()) continue;
+    e.dst = u;
+    e.weight = rng.next_double();
+    e.num_chunks = rng.next_int(1, 64);
+    e.layer = rng.next_int(0, 4);
+    s.entries.push_back(std::move(e));
+  }
+  return s;
+}
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::int64_t values[] = {0,  1,  -1, 63, 64, -64, -65, 1'000'000,
+                                 INT64_MAX, INT64_MIN, INT64_MIN + 1};
+  std::string buf;
+  for (const std::int64_t v : values) append_svarint(buf, v);
+  std::size_t pos = 0;
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(read_svarint(buf.data(), buf.size(), pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::string buf;
+  append_uvarint(buf, 1'000'000);
+  std::size_t pos = 0;
+  EXPECT_THROW((void)read_uvarint(buf.data(), buf.size() - 1, pos),
+               InvalidArgument);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Accumulation across buffers equals one-shot.
+  const std::uint32_t partial = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, partial), 0xCBF43926u);
+}
+
+TEST(SchedBin, EmptyLinkScheduleRoundTripsUnderEveryCodec) {
+  LinkSchedule empty;
+  empty.num_nodes = 8;
+  empty.num_steps = 3;
+  for (const SchedBinCodec codec : kAllCodecs) {
+    SchedBinOptions options;
+    options.codec = codec;
+    const std::string bytes = link_schedule_to_schedbin(empty, options);
+    expect_link_equal(link_schedule_from_schedbin(bytes), empty);
+    const SchedBinInfo info = schedbin_inspect(bytes);
+    EXPECT_EQ(info.kind, SchedBinKind::kLink);
+    EXPECT_EQ(info.record_count, 0u);
+    EXPECT_EQ(info.num_chunks, 0u);
+  }
+}
+
+TEST(SchedBin, EmptyPathScheduleRoundTripsUnderEveryCodec) {
+  const DiGraph g = make_ring(4);
+  PathSchedule empty;
+  empty.num_nodes = 4;
+  empty.chunk_unit = Rational(1, 6);
+  for (const SchedBinCodec codec : kAllCodecs) {
+    SchedBinOptions options;
+    options.codec = codec;
+    const std::string bytes = path_schedule_to_schedbin(g, empty, options);
+    expect_path_equal(path_schedule_from_schedbin(g, bytes), empty);
+  }
+}
+
+TEST(SchedBin, SingleTransferRoundTrips) {
+  LinkSchedule s;
+  s.num_nodes = 2;
+  s.num_steps = 1;
+  Transfer t;
+  t.chunk = Chunk{0, 1, Rational(0), Rational(1)};
+  t.from = 0;
+  t.to = 1;
+  t.step = 1;
+  s.transfers.push_back(t);
+  for (const SchedBinCodec codec : kAllCodecs) {
+    SchedBinOptions options;
+    options.codec = codec;
+    expect_link_equal(
+        link_schedule_from_schedbin(link_schedule_to_schedbin(s, options)), s);
+  }
+}
+
+TEST(SchedBin, RandomLinkSchedulesRoundTripUnderEveryCodec) {
+  Rng rng(20240731);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LinkSchedule s = random_link_schedule(rng, rng.next_int(0, 500));
+    for (const SchedBinCodec codec : kAllCodecs) {
+      SchedBinOptions options;
+      options.codec = codec;
+      options.chunk_words = 256;  // force multiple chunks
+      expect_link_equal(
+          link_schedule_from_schedbin(link_schedule_to_schedbin(s, options)),
+          s);
+    }
+  }
+}
+
+TEST(SchedBin, RandomPathSchedulesRoundTripUnderEveryCodec) {
+  Rng rng(42);
+  const DiGraph g = make_hypercube(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PathSchedule s = random_path_schedule(g, rng, rng.next_int(0, 200));
+    for (const SchedBinCodec codec : kAllCodecs) {
+      SchedBinOptions options;
+      options.codec = codec;
+      options.chunk_words = 128;
+      expect_path_equal(
+          path_schedule_from_schedbin(g, path_schedule_to_schedbin(g, s, options)),
+          s);
+    }
+  }
+}
+
+TEST(SchedBin, CompiledScheduleRoundTripsAndStillValidates) {
+  const DiGraph g = make_ring(4);
+  const auto ts = solve_tsmcf_exact(g, 3, all_nodes(g));
+  const LinkSchedule sched = compile_tsmcf_schedule(g, ts);
+  const std::string bytes = link_schedule_to_schedbin(sched);
+  const LinkSchedule parsed = link_schedule_from_schedbin(bytes);
+  expect_link_equal(parsed, sched);
+  EXPECT_TRUE(validate_link_schedule(g, parsed, all_nodes(g)).ok);
+}
+
+TEST(SchedBin, CompiledPathScheduleRoundTripsAndStillValidates) {
+  const DiGraph g = make_hypercube(3);
+  const auto flows = solve_decomposed_mcf(g, all_nodes(g));
+  PathSchedule sched = compile_path_schedule(g, paths_from_link_flows(g, flows));
+  assign_layers(g, sched);
+  const std::string bytes = path_schedule_to_schedbin(g, sched);
+  const PathSchedule parsed = path_schedule_from_schedbin(g, bytes);
+  expect_path_equal(parsed, sched);
+  EXPECT_TRUE(validate_path_schedule(g, parsed, all_nodes(g)).ok);
+}
+
+TEST(SchedBin, ParallelAndSerialProduceIdenticalBytes) {
+  Rng rng(7);
+  const LinkSchedule s = random_link_schedule(rng, 2000);
+  ThreadPool pool(4);
+  for (const SchedBinCodec codec : kAllCodecs) {
+    SchedBinOptions serial;
+    serial.codec = codec;
+    serial.chunk_words = 128;  // ~140 chunks
+    SchedBinOptions parallel = serial;
+    parallel.pool = &pool;
+    const std::string a = link_schedule_to_schedbin(s, serial);
+    const std::string b = link_schedule_to_schedbin(s, parallel);
+    EXPECT_EQ(a, b);
+    expect_link_equal(link_schedule_from_schedbin(b, &pool), s);
+  }
+}
+
+TEST(SchedBin, DeltaBeatsXmlOnRealSchedules) {
+  const DiGraph g = make_generalized_kautz(16, 4);
+  const auto flows = solve_decomposed_mcf(g, all_nodes(g));
+  PathSchedule sched = compile_path_schedule(g, paths_from_link_flows(g, flows));
+  const std::string xml = path_schedule_to_xml(g, sched);
+  SchedBinOptions options;
+  options.codec = SchedBinCodec::kDelta;
+  const std::string bin = path_schedule_to_schedbin(g, sched, options);
+  EXPECT_LT(bin.size() * 5, xml.size())
+      << "schedbin=" << bin.size() << " xml=" << xml.size();
+}
+
+TEST(SchedBin, CorruptedPayloadFailsCrc) {
+  Rng rng(11);
+  const LinkSchedule s = random_link_schedule(rng, 100);
+  std::string bytes = link_schedule_to_schedbin(s);
+  ASSERT_GT(bytes.size(), 60u);
+  bytes[bytes.size() - 1] ^= 0x40;  // flip a payload bit
+  EXPECT_THROW((void)link_schedule_from_schedbin(bytes), InvalidArgument);
+  EXPECT_THROW((void)schedbin_inspect(bytes), InvalidArgument);
+}
+
+TEST(SchedBin, TruncatedAndForeignBlobsRejected) {
+  Rng rng(12);
+  const LinkSchedule s = random_link_schedule(rng, 50);
+  const std::string bytes = link_schedule_to_schedbin(s);
+  EXPECT_THROW((void)link_schedule_from_schedbin(bytes.substr(0, 20)),
+               InvalidArgument);
+  EXPECT_THROW((void)link_schedule_from_schedbin(bytes.substr(0, bytes.size() - 3)),
+               InvalidArgument);
+  EXPECT_THROW((void)link_schedule_from_schedbin("not a schedbin at all"),
+               InvalidArgument);
+  // Kind mismatch: a link container is not a path container.
+  const DiGraph g = make_ring(4);
+  EXPECT_THROW((void)path_schedule_from_schedbin(g, bytes), InvalidArgument);
+}
+
+TEST(SchedBin, PathDecodeRejectsNonEdgeRoute) {
+  // Encode against a hypercube, decode against a ring missing those edges.
+  Rng rng(13);
+  const DiGraph cube = make_hypercube(3);
+  PathSchedule s = random_path_schedule(cube, rng, 40);
+  ASSERT_FALSE(s.entries.empty());
+  const std::string bytes = path_schedule_to_schedbin(cube, s);
+  const DiGraph ring = make_ring(8);
+  EXPECT_THROW((void)path_schedule_from_schedbin(ring, bytes), InvalidArgument);
+}
+
+TEST(SchedBin, InspectReportsGeometry) {
+  Rng rng(14);
+  const LinkSchedule s = random_link_schedule(rng, 300);
+  SchedBinOptions options;
+  options.codec = SchedBinCodec::kRle;
+  options.chunk_words = 512;
+  const std::string bytes = link_schedule_to_schedbin(s, options);
+  const SchedBinInfo info = schedbin_inspect(bytes);
+  EXPECT_EQ(info.version, kSchedBinVersion);
+  EXPECT_EQ(info.kind, SchedBinKind::kLink);
+  EXPECT_EQ(info.codec, SchedBinCodec::kRle);
+  EXPECT_EQ(info.num_nodes, s.num_nodes);
+  EXPECT_EQ(info.num_steps, s.num_steps);
+  EXPECT_EQ(info.record_count, s.transfers.size());
+  EXPECT_EQ(info.word_count, s.transfers.size() * 9);
+  EXPECT_EQ(info.num_chunks, (info.word_count + 511) / 512);
+  EXPECT_EQ(info.total_bytes, bytes.size());
+}
+
+}  // namespace
+}  // namespace a2a

@@ -1,0 +1,208 @@
+// ScheduleCache: fingerprints, LRU tier, disk tier, pipeline bypass.
+#include "core/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/topologies.hpp"
+#include "runtime/fabric.hpp"
+
+namespace a2a {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("a2a_cache_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+TEST(Fingerprint, StableAndSensitive) {
+  const DiGraph ring = make_ring(8);
+  const Fabric cerio = hpc_cerio_fabric();
+  const ToolchainOptions options;
+  const std::string fp = schedule_fingerprint(ring, cerio, options);
+  EXPECT_EQ(fp.size(), 32u);
+  EXPECT_EQ(fp, schedule_fingerprint(make_ring(8), cerio, options));
+
+  // Any input change moves the fingerprint.
+  EXPECT_NE(fp, schedule_fingerprint(make_ring(9), cerio, options));
+  EXPECT_NE(fp, schedule_fingerprint(ring, gpu_mscl_fabric(), options));
+  ToolchainOptions coarser = options;
+  coarser.chunking.max_denominator = 12;
+  EXPECT_NE(fp, schedule_fingerprint(ring, cerio, coarser));
+  DiGraph recap = make_ring(8);
+  recap.set_capacity(0, 2.0);
+  EXPECT_NE(fp, schedule_fingerprint(recap, cerio, options));
+}
+
+TEST(Fingerprint, EdgeOrderDoesNotMatter) {
+  DiGraph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  const Fabric f = cpu_oneccl_fabric();
+  EXPECT_EQ(schedule_fingerprint(a, f, {}), schedule_fingerprint(b, f, {}));
+}
+
+TEST(ScheduleCache, SecondCallSkipsPipeline) {
+  const DiGraph g = make_ring(6);
+  const Fabric fabric = cpu_oneccl_fabric();
+  ScheduleCache cache;
+
+  const std::uint64_t runs_before = pipeline_invocations();
+  const GeneratedSchedule first = generate_schedule(g, fabric, {}, &cache);
+  EXPECT_EQ(pipeline_invocations(), runs_before + 1);
+  EXPECT_FALSE(first.from_cache);
+
+  const GeneratedSchedule second = generate_schedule(g, fabric, {}, &cache);
+  EXPECT_EQ(pipeline_invocations(), runs_before + 1)
+      << "second identical request must not re-run the LP/MCF pipeline";
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The cached result is the same schedule.
+  EXPECT_EQ(second.kind, first.kind);
+  EXPECT_EQ(second.concurrent_flow, first.concurrent_flow);
+  ASSERT_TRUE(first.link.has_value());
+  ASSERT_TRUE(second.link.has_value());
+  EXPECT_EQ(second.link->transfers.size(), first.link->transfers.size());
+  EXPECT_EQ(second.terminals, first.terminals);
+  EXPECT_EQ(second.notes, first.notes);
+}
+
+TEST(ScheduleCache, DifferentRequestsMiss) {
+  const Fabric fabric = cpu_oneccl_fabric();
+  ScheduleCache cache;
+  (void)generate_schedule(make_ring(6), fabric, {}, &cache);
+  (void)generate_schedule(make_ring(7), fabric, {}, &cache);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScheduleCache, LruEvictsOldest) {
+  const Fabric fabric = cpu_oneccl_fabric();
+  ScheduleCacheOptions options;
+  options.max_entries = 2;
+  ScheduleCache cache(options);
+  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
+  (void)generate_schedule(make_ring(6), fabric, {}, &cache);
+  // Touch ring(5) so ring(6) is the LRU victim.
+  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
+  (void)generate_schedule(make_ring(7), fabric, {}, &cache);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
+  EXPECT_EQ(cache.stats().memory_hits, 2u);  // the touch + this hit
+  (void)generate_schedule(make_ring(6), fabric, {}, &cache);
+  EXPECT_EQ(cache.stats().misses, 4u);  // 5, 6, 7, then evicted 6 again
+}
+
+TEST(ScheduleCache, DiskTierSurvivesProcessRestart) {
+  const TempDir dir;
+  const DiGraph g = make_ring(6);
+  const Fabric fabric = cpu_oneccl_fabric();
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+
+  GeneratedSchedule first;
+  {
+    ScheduleCache cache(options);
+    first = generate_schedule(g, fabric, {}, &cache);
+    EXPECT_EQ(cache.stats().disk_writes, 1u);
+    const std::string entry =
+        cache.entry_path(schedule_fingerprint(g, fabric, {}));
+    EXPECT_TRUE(fs::exists(entry));
+  }
+
+  // A fresh cache (fresh process, conceptually) hits the disk tier and does
+  // not re-run the pipeline.
+  ScheduleCache cache(options);
+  const std::uint64_t runs_before = pipeline_invocations();
+  const GeneratedSchedule second = generate_schedule(g, fabric, {}, &cache);
+  EXPECT_EQ(pipeline_invocations(), runs_before);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  ASSERT_TRUE(second.link.has_value());
+  ASSERT_TRUE(first.link.has_value());
+  ASSERT_EQ(second.link->transfers.size(), first.link->transfers.size());
+  for (std::size_t i = 0; i < first.link->transfers.size(); ++i) {
+    EXPECT_EQ(second.link->transfers[i].chunk, first.link->transfers[i].chunk);
+    EXPECT_EQ(second.link->transfers[i].step, first.link->transfers[i].step);
+  }
+  EXPECT_EQ(second.schedule_graph.num_edges(), first.schedule_graph.num_edges());
+  EXPECT_EQ(second.notes, first.notes);
+}
+
+TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
+  const TempDir dir;
+  const DiGraph g = make_ring(6);
+  const Fabric fabric = cpu_oneccl_fabric();
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  const std::string fp = schedule_fingerprint(g, fabric, {});
+  {
+    ScheduleCache cache(options);
+    (void)generate_schedule(g, fabric, {}, &cache);
+    // Corrupt the entry on disk.
+    const std::string path = cache.entry_path(fp);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\xFF');
+  }
+  ScheduleCache cache(options);
+  const GeneratedSchedule regenerated = generate_schedule(g, fabric, {}, &cache);
+  EXPECT_FALSE(regenerated.from_cache);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+}
+
+TEST(ScheduleCache, EnvelopeRoundTripsPathSchedules) {
+  // A path-kind GeneratedSchedule (NIC-forwarding fabric) through the disk
+  // envelope: graph, terminals, notes, vc layers and bit-exact weights.
+  const DiGraph g = make_hypercube(3);
+  const GeneratedSchedule original = generate_schedule(g, hpc_cerio_fabric(), {});
+  ASSERT_TRUE(original.path.has_value());
+  const std::string bytes = generated_schedule_to_bytes(original);
+  const GeneratedSchedule decoded = generated_schedule_from_bytes(bytes);
+  EXPECT_EQ(decoded.kind, original.kind);
+  EXPECT_EQ(decoded.concurrent_flow, original.concurrent_flow);
+  EXPECT_EQ(decoded.vc_layers, original.vc_layers);
+  EXPECT_EQ(decoded.terminals, original.terminals);
+  EXPECT_EQ(decoded.notes, original.notes);
+  ASSERT_TRUE(decoded.path.has_value());
+  ASSERT_EQ(decoded.path->entries.size(), original.path->entries.size());
+  for (std::size_t i = 0; i < decoded.path->entries.size(); ++i) {
+    EXPECT_EQ(decoded.path->entries[i].weight, original.path->entries[i].weight);
+    EXPECT_EQ(decoded.path->entries[i].path, original.path->entries[i].path);
+  }
+}
+
+TEST(ScheduleCache, NullCacheBehavesLikePlainCall) {
+  const DiGraph g = make_ring(5);
+  const std::uint64_t runs_before = pipeline_invocations();
+  const GeneratedSchedule r =
+      generate_schedule(g, cpu_oneccl_fabric(), {}, nullptr);
+  EXPECT_EQ(pipeline_invocations(), runs_before + 1);
+  EXPECT_FALSE(r.from_cache);
+}
+
+}  // namespace
+}  // namespace a2a

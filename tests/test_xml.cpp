@@ -28,6 +28,36 @@ TEST(Xml, EscapesSpecialCharacters) {
   EXPECT_EQ(parsed->attr("expr"), "a<b&&c>\"d\"");
 }
 
+TEST(Xml, EscapesApostrophes) {
+  XmlNode root("r");
+  root.set_attr("who", "it's <here> & 'there'");
+  root.text = "don't";
+  const std::string text = xml_to_string(root);
+  EXPECT_EQ(text.find('\''), std::string::npos)
+      << "raw apostrophe leaked into serialized XML: " << text;
+  const auto parsed = xml_parse(text);
+  EXPECT_EQ(parsed->attr("who"), "it's <here> & 'there'");
+  EXPECT_EQ(parsed->text, "don't");
+}
+
+TEST(Xml, AttrIntDiagnosesMalformedNumbers) {
+  const auto parsed = xml_parse(
+      "<a empty=\"\" word=\"banana\" trail=\"12abc\" huge=\""
+      "999999999999999999999999999\" ok=\"-42\"/>");
+  EXPECT_EQ(parsed->attr_int("ok"), -42);
+  // Each failure mode surfaces as the library's InvalidArgument (with the
+  // attribute name in the message), never a raw std:: exception.
+  for (const char* key : {"empty", "word", "trail", "huge"}) {
+    try {
+      (void)parsed->attr_int(key);
+      FAIL() << "attr_int(" << key << ") did not throw";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "diagnostic does not name the attribute: " << e.what();
+    }
+  }
+}
+
 TEST(Xml, ParsesTextContent) {
   const auto parsed = xml_parse("<note>  hello &amp; goodbye  </note>");
   EXPECT_EQ(parsed->text, "hello & goodbye");

@@ -1,10 +1,18 @@
 // a2a-schedgen — the command-line front end an operator would actually run:
 // build a topology, pick a fabric, synthesize the all-to-all schedule, and
-// emit the §4 XML (plus a human-readable report) to stdout or a file.
+// emit the §4 XML or a SchedBin binary artifact (plus a human-readable
+// report) to stdout or a file.
 //
 //   schedgen --topology torus3d --dims 3x3x3 --fabric cerio -o sched.xml
 //   schedgen --topology genkautz --nodes 64 --degree 4 --fabric gpu
 //   schedgen --topology hypercube --dim 3 --fabric oneccl --report-only
+//   schedgen --topology ring --nodes 8 --format schedbin -o sched.schedbin
+//   schedgen --topology ring --nodes 8 --cache-dir /var/cache/a2a -o s.xml
+//   schedgen --topology ring --nodes 8 --convert sched.xml sched.schedbin
+//   schedgen --inspect sched.schedbin
+//
+// Repeat invocations with --cache-dir are served from the on-disk schedule
+// cache and skip the LP/MCF pipeline entirely.
 //
 // Exit code 0 on success; diagnostics on stderr.
 #include <cstring>
@@ -14,7 +22,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/thread_pool.hpp"
+#include "container/schedbin.hpp"
 #include "core/api.hpp"
+#include "core/schedule_cache.hpp"
 #include "graph/topologies.hpp"
 #include "schedule/stats.hpp"
 #include "schedule/validate.hpp"
@@ -33,6 +44,12 @@ struct Args {
   std::uint64_t seed = 1;
   std::string fabric = "cerio";
   std::string output;
+  std::string format = "xml";  // xml | schedbin
+  std::string codec = "delta";
+  std::string cache_dir;
+  std::string convert_in;
+  std::string convert_out;
+  std::string inspect;
   bool report_only = false;
 };
 
@@ -47,8 +64,14 @@ void usage() {
       "  --dim K           dimension (hypercube/twisted/debruijn)\n"
       "  --seed S          RNG seed for randomized families\n"
       "  --fabric NAME     cerio|gpu|oneccl\n"
-      "  --output FILE     write schedule XML here (default: stdout)\n"
-      "  --report-only     print the report, skip the XML\n";
+      "  --output FILE     write the schedule here (default: stdout)\n"
+      "  --format FMT      xml|schedbin (default: xml)\n"
+      "  --codec NAME      schedbin codec: raw|rle|delta (default: delta)\n"
+      "  --cache-dir DIR   serve repeat requests from a schedule cache here\n"
+      "  --convert IN OUT  convert xml<->schedbin (direction inferred from\n"
+      "                    content; path schedules need the topology flags)\n"
+      "  --inspect FILE    print a SchedBin container's header and exit\n"
+      "  --report-only     print the report, skip the schedule output\n";
 }
 
 DiGraph build_topology(const Args& args) {
@@ -88,6 +111,92 @@ Fabric build_fabric(const std::string& name) {
   throw InvalidArgument("unknown fabric: " + name);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  A2A_REQUIRE(in.good(), "cannot open input file: ", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_output(const std::string& payload, const std::string& path) {
+  if (path.empty()) {
+    std::cout << payload;
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  A2A_REQUIRE(out.good(), "cannot open output file: ", path);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  A2A_REQUIRE(out.good(), "short write to output file: ", path);
+  std::cerr << "wrote " << payload.size() << " bytes to " << path << "\n";
+}
+
+bool is_schedbin(const std::string& bytes) {
+  return bytes.size() >= sizeof(kSchedBinMagic) &&
+         std::memcmp(bytes.data(), kSchedBinMagic, sizeof(kSchedBinMagic)) == 0;
+}
+
+int run_inspect(const Args& args) {
+  const SchedBinInfo info = schedbin_inspect(read_file(args.inspect));
+  std::cout << "schedbin v" << info.version << " "
+            << (info.kind == SchedBinKind::kLink ? "link" : "path")
+            << " schedule, codec=" << codec_name(info.codec)
+            << "\n  nodes:   " << info.num_nodes;
+  if (info.kind == SchedBinKind::kLink) {
+    std::cout << "\n  steps:   " << info.num_steps;
+  } else {
+    std::cout << "\n  chunk_unit: " << info.chunk_unit;
+  }
+  std::cout << "\n  records: " << info.record_count
+            << "\n  words:   " << info.word_count << " (" << info.num_chunks
+            << " chunks of " << info.chunk_words << ")"
+            << "\n  bytes:   " << info.total_bytes << " total, "
+            << info.payload_bytes << " payload ("
+            << (info.word_count == 0
+                    ? 0.0
+                    : static_cast<double>(info.payload_bytes) /
+                          (static_cast<double>(info.word_count) * 8) * 100.0)
+            << "% of raw words)\n";
+  return 0;
+}
+
+/// xml<->schedbin conversion. The direction is inferred from the input
+/// content; path schedules resolve their routes against the topology built
+/// from the usual flags.
+int run_convert(const Args& args) {
+  const std::string input = read_file(args.convert_in);
+  ThreadPool pool;
+  std::string output;
+  if (is_schedbin(input)) {
+    const SchedBinInfo info = schedbin_inspect(input);
+    if (info.kind == SchedBinKind::kLink) {
+      output = link_schedule_to_xml(link_schedule_from_schedbin(input, &pool));
+    } else {
+      const DiGraph g = build_topology(args);
+      output = path_schedule_to_xml(g, path_schedule_from_schedbin(g, input, &pool));
+    }
+    std::cerr << "schedbin -> xml\n";
+  } else {
+    SchedBinOptions options;
+    options.codec = codec_from_name(args.codec);
+    options.pool = &pool;
+    // Peek at the XML root to pick the dialect.
+    if (input.find("<linkschedule") != std::string::npos) {
+      output = link_schedule_to_schedbin(link_schedule_from_xml(input), options);
+    } else if (input.find("<pathschedule") != std::string::npos) {
+      const DiGraph g = build_topology(args);
+      output = path_schedule_to_schedbin(g, path_schedule_from_xml(g, input),
+                                         options);
+    } else {
+      throw InvalidArgument("input is neither SchedBin nor a schedule XML: " +
+                            args.convert_in);
+    }
+    std::cerr << "xml -> schedbin (" << args.codec << ")\n";
+  }
+  write_output(output, args.convert_out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +218,14 @@ int main(int argc, char** argv) {
     else if (flag == "--seed") args.seed = std::stoull(value());
     else if (flag == "--fabric") args.fabric = value();
     else if (flag == "--output" || flag == "-o") args.output = value();
+    else if (flag == "--format") args.format = value();
+    else if (flag == "--codec") args.codec = value();
+    else if (flag == "--cache-dir") args.cache_dir = value();
+    else if (flag == "--convert") {
+      args.convert_in = value();
+      args.convert_out = value();
+    }
+    else if (flag == "--inspect") args.inspect = value();
     else if (flag == "--report-only") args.report_only = true;
     else if (flag == "--help" || flag == "-h") {
       usage();
@@ -121,19 +238,40 @@ int main(int argc, char** argv) {
   }
 
   try {
+    (void)codec_from_name(args.codec);  // reject bad --codec before any work
+    if (!args.inspect.empty()) return run_inspect(args);
+    if (!args.convert_in.empty()) return run_convert(args);
+    A2A_REQUIRE(args.format == "xml" || args.format == "schedbin",
+                "unknown --format: ", args.format);
+
     const DiGraph topo = build_topology(args);
     const Fabric fabric = build_fabric(args.fabric);
     std::cerr << "topology: " << topo.summary() << ", fabric: " << fabric.name
               << "\n";
-    const GeneratedSchedule result = generate_schedule(topo, fabric);
-    std::cerr << "pipeline: " << result.notes << "\n";
+
+    std::optional<ScheduleCache> cache;
+    if (!args.cache_dir.empty()) {
+      ScheduleCacheOptions cache_options;
+      cache_options.disk_dir = args.cache_dir;
+      cache_options.schedbin.codec = codec_from_name(args.codec);
+      cache.emplace(std::move(cache_options));
+    }
+    const GeneratedSchedule result =
+        generate_schedule(topo, fabric, {}, cache ? &*cache : nullptr);
+    std::cerr << "pipeline: " << result.notes
+              << (result.from_cache ? " [served from cache]" : "") << "\n";
     std::cerr << "concurrent rate F = " << result.concurrent_flow
               << " (throughput bound "
               << (result.terminals.size() - 1) * result.concurrent_flow *
                      fabric.link_GBps
               << " GB/s)\n";
 
-    std::string xml;
+    ThreadPool pool;
+    SchedBinOptions bin_options;
+    bin_options.codec = codec_from_name(args.codec);
+    bin_options.pool = &pool;
+
+    std::string payload;
     if (result.path.has_value()) {
       const auto validation = validate_path_schedule(
           result.schedule_graph, *result.path, result.terminals);
@@ -142,7 +280,10 @@ int main(int argc, char** argv) {
       std::cerr << "routes: " << stats.num_routes << ", chunks/QPs: "
                 << stats.num_chunks << ", avg hops: " << stats.avg_hops
                 << ", VC layers: " << stats.vc_layers << "\n";
-      xml = path_schedule_to_xml(result.schedule_graph, *result.path);
+      payload = args.format == "xml"
+                    ? path_schedule_to_xml(result.schedule_graph, *result.path)
+                    : path_schedule_to_schedbin(result.schedule_graph,
+                                                *result.path, bin_options);
     } else {
       const auto validation = validate_link_schedule(
           result.schedule_graph, *result.link, result.terminals);
@@ -151,17 +292,12 @@ int main(int argc, char** argv) {
       std::cerr << "steps: " << stats.num_steps << ", transfers: "
                 << stats.num_transfers << ", peak scratch/rank: "
                 << stats.peak_scratch_per_rank << " shards\n";
-      xml = link_schedule_to_xml(*result.link);
+      payload = args.format == "xml"
+                    ? link_schedule_to_xml(*result.link)
+                    : link_schedule_to_schedbin(*result.link, bin_options);
     }
     if (args.report_only) return 0;
-    if (args.output.empty()) {
-      std::cout << xml;
-    } else {
-      std::ofstream out(args.output);
-      A2A_REQUIRE(out.good(), "cannot open output file: ", args.output);
-      out << xml;
-      std::cerr << "wrote " << xml.size() << " bytes to " << args.output << "\n";
-    }
+    write_output(payload, args.output);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
