@@ -28,8 +28,11 @@ class ScheduleCache;
 enum class ScheduleKind { kLinkTsMcf, kLinkUnrolled, kPathPMcf, kPathExtracted };
 
 struct ToolchainOptions {
-  /// Max nodes for which the exact tsMCF LP is attempted.
-  int exact_tsmcf_limit = 10;
+  /// Max nodes for which the exact tsMCF LP is attempted. Raised from 10
+  /// when the sparse revised simplex replaced the dense solver: GenKautz
+  /// N=14 (d=4) tsMCF now solves in ~4s where the dense solver needed that
+  /// for N=10 (see BENCH_lp.json).
+  int exact_tsmcf_limit = 14;
   /// Fig. 1 "#(s,d) paths large?" threshold: bounded-length path count per
   /// pair above which pMCF is abandoned for MCF-extP.
   long long path_diversity_threshold = 512;

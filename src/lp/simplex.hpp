@@ -1,14 +1,14 @@
 // Bounded-variable two-phase revised simplex.
 //
 // This is the exact solver behind the MCF formulations (the role MOSEK plays
-// in the paper). Design choices, tuned to network-flow LPs whose constraint
-// coefficients are ±1:
-//   * dense explicit basis inverse with product-form pivot updates and
-//     periodic LU refactorization (flow bases are well conditioned);
-//   * Dantzig pricing with a Bland's-rule fallback after a degeneracy stall,
-//     which guarantees termination;
-//   * bound-flip ratio test so box-constrained variables (tsMCF's f <= 1)
-//     do not enter the basis needlessly.
+// in the paper). Two implementations share this interface:
+//   * solve_lp() — the production sparse revised simplex: CSC constraint
+//     storage, sparse-LU basis factors kept alive with a product-form eta
+//     file (FTRAN/BTRAN are sparse triangular solves, no dense inverse),
+//     Devex pricing with incrementally maintained reduced costs, a
+//     bound-flip ratio test, and optional warm starts from a prior basis;
+//   * solve_lp_dense() — the original dense-inverse Dantzig solver, kept as
+//     the cross-check reference and the "before" side of bench_lp.
 #pragma once
 
 #include <string>
@@ -20,33 +20,76 @@ namespace a2a {
 
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
+/// Basis status of one variable (structural or row slack).
+enum class LpVarStatus : unsigned char { kAtLower, kAtUpper, kBasic };
+
+/// A simplex basis: one status per structural variable and one per row (the
+/// row's slack). Produced by solve_lp() at the end of every solve; feeding it
+/// back as a warm start lets re-solves of the same-shaped LP (the Fig. 9
+/// disabled-link sweep, decomposed-MCF child LPs, repeated cache-miss
+/// pipeline runs) restart from a near-optimal basis instead of from scratch.
+struct LpBasis {
+  std::vector<LpVarStatus> variables;
+  std::vector<LpVarStatus> rows;
+
+  [[nodiscard]] bool empty() const { return variables.empty() && rows.empty(); }
+  [[nodiscard]] bool compatible(int num_variables, int num_rows) const {
+    return static_cast<int>(variables.size()) == num_variables &&
+           static_cast<int>(rows.size()) == num_rows;
+  }
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;          ///< in the model's original sense.
   std::vector<double> values;      ///< primal values of structural variables.
   long long iterations = 0;
   double solve_seconds = 0.0;
+  /// Final basis (sparse solver only); reusable via solve_lp()'s warm start.
+  LpBasis basis;
+  /// True when a supplied warm-start basis was actually used (it can be
+  /// rejected when incompatible, singular, or primal infeasible).
+  bool warm_started = false;
 
   [[nodiscard]] bool optimal() const { return status == LpStatus::kOptimal; }
 };
 
 struct SimplexOptions {
   long long max_iterations = 2'000'000;
-  /// Pivots between LU refactorizations. Flow LPs have ±1 coefficients and
-  /// well-conditioned bases, so long stretches of product-form updates stay
-  /// accurate; refactorization is O(m^3) and dominates when frequent.
+  /// Pivots between LU refactorizations (dense solver: product-form updates
+  /// of the explicit inverse, refactorize rarely; flow bases stay accurate).
   int refactor_interval = 4000;
+  /// Sparse solver: eta-file length before the basis is refactorized. Each
+  /// pivot appends one eta vector, so FTRAN/BTRAN cost grows linearly with
+  /// this; sparse refactorization is cheap enough to keep it short.
+  int eta_limit = 96;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-9;
   int stall_limit = 8000;          ///< non-improving pivots before Bland.
 };
 
-/// Solves `model`; throws SolverError only on internal numerical failure
-/// (singular basis after refactorization). Infeasible/unbounded are reported
-/// via the status field.
+/// Solves `model` with the sparse revised simplex; throws SolverError only on
+/// internal numerical failure (singular basis after refactorization).
+/// Infeasible/unbounded are reported via the status field. A non-null
+/// `warm_start` seeds the initial basis when it is compatible with the
+/// model's shape and primal feasible; otherwise the solver silently falls
+/// back to the cold crash basis.
 [[nodiscard]] LpSolution solve_lp(const LpModel& model,
-                                  const SimplexOptions& options = {});
+                                  const SimplexOptions& options = {},
+                                  const LpBasis* warm_start = nullptr);
+
+/// Warm-start protocol shared by every MCF entry point: seeds from `*warm`
+/// when it is non-null and non-empty, and writes the final basis back on an
+/// optimal solve so the caller's next same-shaped LP restarts near-optimal.
+[[nodiscard]] LpSolution solve_lp_warm(const LpModel& model,
+                                       const SimplexOptions& options,
+                                       LpBasis* warm);
+
+/// Reference implementation: the original dense-inverse Dantzig simplex.
+/// Same statuses and objectives; no basis export and no warm starts.
+[[nodiscard]] LpSolution solve_lp_dense(const LpModel& model,
+                                        const SimplexOptions& options = {});
 
 [[nodiscard]] std::string to_string(LpStatus status);
 

@@ -1,0 +1,269 @@
+#include "lp/sparse_lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+namespace {
+
+/// Fill-reducing factorization order: repeatedly peel columns with exactly
+/// one entry in still-active rows (slacks immediately, then the cascade
+/// through the near-triangular network structure). Peeled pivots generate no
+/// L entries and therefore no fill; only the residual "bump" — typically a
+/// small fraction of a flow basis — is left to general elimination.
+std::vector<int> singleton_peel_order(const CscMatrix& a,
+                                      const std::vector<int>& columns) {
+  const int n = static_cast<int>(columns.size());
+  const int m = a.num_rows();
+  // row -> basis columns containing it.
+  std::vector<int> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    const int col = columns[static_cast<std::size_t>(j)];
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      ++row_ptr[static_cast<std::size_t>(a.entry_row(k)) + 1];
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] += row_ptr[static_cast<std::size_t>(r)];
+  }
+  std::vector<int> row_cols(row_ptr.back());
+  {
+    std::vector<int> next(row_ptr.begin(), row_ptr.end() - 1);
+    for (int j = 0; j < n; ++j) {
+      const int col = columns[static_cast<std::size_t>(j)];
+      for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+        row_cols[static_cast<std::size_t>(
+            next[static_cast<std::size_t>(a.entry_row(k))]++)] = j;
+      }
+    }
+  }
+  std::vector<int> active_count(static_cast<std::size_t>(n), 0);
+  std::vector<char> row_active(static_cast<std::size_t>(m), 1);
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack;
+  stack.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const int col = columns[static_cast<std::size_t>(j)];
+    active_count[j] = a.col_end(col) - a.col_begin(col);
+    if (active_count[j] == 1) stack.push_back(j);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!stack.empty()) {
+    const int j = stack.back();
+    stack.pop_back();
+    if (used[j] || active_count[j] != 1) continue;
+    const int col = columns[static_cast<std::size_t>(j)];
+    int pivot_row = -1;
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      if (row_active[static_cast<std::size_t>(a.entry_row(k))]) {
+        pivot_row = a.entry_row(k);
+        break;
+      }
+    }
+    if (pivot_row < 0) continue;  // numerically impossible; leave to the bump
+    used[j] = 1;
+    order.push_back(j);
+    row_active[static_cast<std::size_t>(pivot_row)] = 0;
+    for (int k = row_ptr[static_cast<std::size_t>(pivot_row)];
+         k < row_ptr[static_cast<std::size_t>(pivot_row) + 1]; ++k) {
+      const int j2 = row_cols[static_cast<std::size_t>(k)];
+      if (used[j2]) continue;
+      if (--active_count[j2] == 1) stack.push_back(j2);
+    }
+  }
+  // The bump: whatever the peel could not order, in natural order.
+  for (int j = 0; j < n; ++j) {
+    if (!used[j]) order.push_back(j);
+  }
+  return order;
+}
+
+}  // namespace
+
+void SparseLu::factor(const CscMatrix& a, const std::vector<int>& columns) {
+  n_ = static_cast<int>(columns.size());
+  const int m = a.num_rows();
+  A2A_REQUIRE(n_ == m, "basis matrix must be square");
+
+  col_order_ = singleton_peel_order(a, columns);
+
+  lptr_.assign(1, 0);
+  lrow_.clear();
+  lval_.clear();
+  uptr_.assign(1, 0);
+  urow_.clear();
+  uval_.clear();
+  udiag_.assign(static_cast<std::size_t>(n_), 0.0);
+  pivot_row_.assign(static_cast<std::size_t>(n_), -1);
+
+  // pinv[r] = pivot step that claimed original row r, or -1.
+  std::vector<int> pinv(static_cast<std::size_t>(m), -1);
+  std::vector<double> work(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> pattern;
+  pattern.reserve(64);
+  // Pivot steps whose L column is nonempty, in order. The elimination sweep
+  // below probes only these: for the (large) triangular prefix the peel
+  // produces, L columns are empty and contribute nothing, so skipping them
+  // keeps refactorization near O(fill) instead of O(n^2) probes.
+  std::vector<int> nontrivial_l;
+  nontrivial_l.reserve(64);
+  // Static row counts over the basis — the Markowitz-style tie-break below
+  // prefers pivots in sparse rows, which is what keeps fill low inside the
+  // bump that the singleton peel could not triangularize.
+  std::vector<int> row_count(static_cast<std::size_t>(m), 0);
+  for (int j = 0; j < n_; ++j) {
+    const int col = columns[static_cast<std::size_t>(j)];
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      ++row_count[static_cast<std::size_t>(a.entry_row(k))];
+    }
+  }
+
+  for (int j = 0; j < n_; ++j) {
+    // Scatter the j-th column (in factored order) into the dense workspace.
+    pattern.clear();
+    const int col = columns[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(j)])];
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      const int r = a.entry_row(k);
+      if (work[static_cast<std::size_t>(r)] == 0.0) pattern.push_back(r);
+      work[static_cast<std::size_t>(r)] += a.entry_value(k);
+    }
+    // Eliminate with the already-formed nonempty L columns, in pivot order.
+    // The value at a pivoted row is final once every earlier pivot has been
+    // applied, so a single ordered sweep computes the partial solve
+    // L y = a_j.
+    for (const int k : nontrivial_l) {
+      const double t = work[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+      if (t == 0.0) continue;
+      for (int p = lptr_[static_cast<std::size_t>(k)]; p < lptr_[static_cast<std::size_t>(k) + 1];
+           ++p) {
+        const int r = lrow_[static_cast<std::size_t>(p)];
+        if (work[static_cast<std::size_t>(r)] == 0.0) pattern.push_back(r);
+        work[static_cast<std::size_t>(r)] -= lval_[static_cast<std::size_t>(p)] * t;
+      }
+    }
+    // Threshold pivoting over the not-yet-pivoted rows: among rows within
+    // a factor of the largest magnitude, prefer the sparsest row.
+    double largest = 0.0;
+    for (const int r : pattern) {
+      if (pinv[static_cast<std::size_t>(r)] >= 0) continue;
+      largest = std::max(largest, std::abs(work[static_cast<std::size_t>(r)]));
+    }
+    int pivot = -1;
+    double best = 0.0;
+    int best_count = 0;
+    for (const int r : pattern) {
+      if (pinv[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::abs(work[static_cast<std::size_t>(r)]);
+      if (v < 0.1 * largest || v < 1e-11) continue;
+      const int rc = row_count[static_cast<std::size_t>(r)];
+      if (pivot < 0 || rc < best_count || (rc == best_count && v > best)) {
+        pivot = r;
+        best = v;
+        best_count = rc;
+      }
+    }
+    if (pivot < 0 || largest < 1e-11) {
+      // Clear the workspace before throwing so the object stays reusable.
+      for (const int r : pattern) work[static_cast<std::size_t>(r)] = 0.0;
+      throw SolverError("singular basis matrix in sparse LU factorization");
+    }
+    pivot_row_[static_cast<std::size_t>(j)] = pivot;
+    pinv[static_cast<std::size_t>(pivot)] = j;
+    const double d = work[static_cast<std::size_t>(pivot)];
+    udiag_[static_cast<std::size_t>(j)] = d;
+    // Split the workspace into the U column (pivoted rows) and the L column
+    // (still-active rows, scaled by the pivot).
+    for (const int r : pattern) {
+      const double v = work[static_cast<std::size_t>(r)];
+      work[static_cast<std::size_t>(r)] = 0.0;
+      if (v == 0.0 || r == pivot) continue;
+      const int step = pinv[static_cast<std::size_t>(r)];
+      if (step >= 0 && step < j) {
+        urow_.push_back(step);
+        uval_.push_back(v);
+      } else if (step < 0) {
+        lrow_.push_back(r);
+        lval_.push_back(v / d);
+      }
+    }
+    lptr_.push_back(static_cast<int>(lrow_.size()));
+    uptr_.push_back(static_cast<int>(urow_.size()));
+    if (lptr_[static_cast<std::size_t>(j) + 1] > lptr_[static_cast<std::size_t>(j)]) {
+      nontrivial_l.push_back(j);
+    }
+  }
+}
+
+void SparseLu::ftran(std::vector<double>& x, std::vector<double>& scratch) const {
+  // PBQ = LU; solve L y = P b then U z = y, then scatter z back through the
+  // column order Q. `x` enters indexed by original row; the L sweep works in
+  // place, skipping pivot steps whose value is structurally zero.
+  for (int k = 0; k < n_; ++k) {
+    const double t = x[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+    if (t == 0.0) continue;
+    for (int p = lptr_[static_cast<std::size_t>(k)]; p < lptr_[static_cast<std::size_t>(k) + 1];
+         ++p) {
+      x[static_cast<std::size_t>(lrow_[static_cast<std::size_t>(p)])] -=
+          lval_[static_cast<std::size_t>(p)] * t;
+    }
+  }
+  // Gather y into pivot order, then the column-oriented backward U solve.
+  scratch.resize(static_cast<std::size_t>(n_));
+  for (int k = 0; k < n_; ++k) {
+    scratch[static_cast<std::size_t>(k)] =
+        x[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+  }
+  for (int k = n_ - 1; k >= 0; --k) {
+    double& zk = scratch[static_cast<std::size_t>(k)];
+    if (zk == 0.0) continue;
+    zk /= udiag_[static_cast<std::size_t>(k)];
+    for (int p = uptr_[static_cast<std::size_t>(k)]; p < uptr_[static_cast<std::size_t>(k) + 1];
+         ++p) {
+      scratch[static_cast<std::size_t>(urow_[static_cast<std::size_t>(p)])] -=
+          uval_[static_cast<std::size_t>(p)] * zk;
+    }
+  }
+  // Un-permute columns: step k solved the variable at basis position
+  // col_order_[k].
+  for (int k = 0; k < n_; ++k) {
+    x[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(k)])] =
+        scratch[static_cast<std::size_t>(k)];
+  }
+}
+
+void SparseLu::btran(std::vector<double>& y, std::vector<double>& scratch) const {
+  // B' y = c with B = P' L U Q': gather c through the column order, solve
+  // U' a = c (forward; column-oriented U gives the needed row access), then
+  // L' g = a (backward), then scatter by the row permutation.
+  scratch.resize(static_cast<std::size_t>(n_));
+  for (int k = 0; k < n_; ++k) {
+    scratch[static_cast<std::size_t>(k)] =
+        y[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(k)])];
+  }
+  for (int k = 0; k < n_; ++k) {
+    double t = scratch[static_cast<std::size_t>(k)];
+    for (int p = uptr_[static_cast<std::size_t>(k)]; p < uptr_[static_cast<std::size_t>(k) + 1];
+         ++p) {
+      t -= uval_[static_cast<std::size_t>(p)] *
+           scratch[static_cast<std::size_t>(urow_[static_cast<std::size_t>(p)])];
+    }
+    scratch[static_cast<std::size_t>(k)] = t / udiag_[static_cast<std::size_t>(k)];
+  }
+  y.assign(y.size(), 0.0);
+  for (int k = n_ - 1; k >= 0; --k) {
+    double t = scratch[static_cast<std::size_t>(k)];
+    for (int p = lptr_[static_cast<std::size_t>(k)]; p < lptr_[static_cast<std::size_t>(k) + 1];
+         ++p) {
+      // L rows are original row ids of later pivot steps; their solution
+      // components are already final in the backward sweep.
+      t -= lval_[static_cast<std::size_t>(p)] *
+           y[static_cast<std::size_t>(lrow_[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])] = t;
+  }
+}
+
+}  // namespace a2a

@@ -31,7 +31,9 @@ std::pair<NodeId, NodeId> TerminalPairs::nodes(int idx) const {
 std::vector<double> LinkFlowSolution::total_edge_flow(const DiGraph& g) const {
   std::vector<double> total(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (const auto& commodity : per_commodity) {
-    for (std::size_t e = 0; e < total.size(); ++e) total[e] += commodity[e];
+    for (std::size_t k = 0; k < commodity.size(); ++k) {
+      total[static_cast<std::size_t>(commodity.edges()[k])] += commodity.values()[k];
+    }
   }
   return total;
 }
@@ -42,11 +44,8 @@ std::vector<NodeId> all_nodes(const DiGraph& g) {
   return nodes;
 }
 
-LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
-                                      const std::vector<NodeId>& terminals,
-                                      const SimplexOptions& lp) {
-  A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
-  TerminalPairs pairs(terminals);
+LpModel build_link_mcf_model(const DiGraph& g, const TerminalPairs& pairs,
+                             int* f_var_out) {
   const int E = g.num_edges();
   const int K = pairs.count();
   LpModel model(Sense::kMaximize);
@@ -62,7 +61,8 @@ LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
     }
   }
   const int f_var = model.add_variable(0.0, kInfinity, 1.0);
-  auto var = [&](int k, int e) { return k * E + e; };
+  if (f_var_out != nullptr) *f_var_out = f_var;
+  auto var = [&](int k, int e) { return link_mcf_var(E, k, e); };
 
   // (2) capacity per edge.
   for (int e = 0; e < E; ++e) {
@@ -83,21 +83,33 @@ LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
     for (const EdgeId e : g.in_edges(d)) model.add_coefficient(demand, var(k, e), 1.0);
     model.add_coefficient(demand, f_var, -1.0);
   }
+  return model;
+}
 
-  const LpSolution sol = solve_lp(model, lp);
+LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
+                                      const std::vector<NodeId>& terminals,
+                                      const SimplexOptions& lp, LpBasis* warm) {
+  A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
+  TerminalPairs pairs(terminals);
+  const int E = g.num_edges();
+  const int K = pairs.count();
+  int f_var = -1;
+  const LpModel model = build_link_mcf_model(g, pairs, &f_var);
+  auto var = [&](int k, int e) { return link_mcf_var(E, k, e); };
+
+  const LpSolution sol = solve_lp_warm(model, lp, warm);
   if (!sol.optimal()) {
     throw SolverError("link MCF LP failed: " + to_string(sol.status));
   }
   LinkFlowSolution out;
   out.pairs = pairs;
   out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
-  out.per_commodity.assign(static_cast<std::size_t>(K),
-                           std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  out.per_commodity.resize(static_cast<std::size_t>(K));
   for (int k = 0; k < K; ++k) {
+    auto& flow = out.per_commodity[static_cast<std::size_t>(k)];
     for (int e = 0; e < E; ++e) {
       const double v = sol.values[static_cast<std::size_t>(var(k, e))];
-      out.per_commodity[static_cast<std::size_t>(k)][static_cast<std::size_t>(e)] =
-          v > 1e-10 ? v : 0.0;
+      if (v > 1e-10) flow.push(e, v);
     }
   }
   out.lp_iterations = sol.iterations;
@@ -107,7 +119,7 @@ LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
 
 GroupedFlowSolution solve_master_lp(const DiGraph& g,
                                     const std::vector<NodeId>& terminals,
-                                    const SimplexOptions& lp) {
+                                    const SimplexOptions& lp, LpBasis* warm) {
   A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
   const int E = g.num_edges();
   const int S = static_cast<int>(terminals.size());
@@ -146,7 +158,7 @@ GroupedFlowSolution solve_master_lp(const DiGraph& g,
     }
   }
 
-  const LpSolution sol = solve_lp(model, lp);
+  const LpSolution sol = solve_lp_warm(model, lp, warm);
   if (!sol.optimal()) {
     throw SolverError("master MCF LP failed: " + to_string(sol.status));
   }
@@ -170,7 +182,7 @@ GroupedFlowSolution solve_master_lp(const DiGraph& g,
 std::vector<std::vector<double>> solve_child_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
     const std::vector<double>& source_flow, double F,
-    const SimplexOptions& lp) {
+    const SimplexOptions& lp, LpBasis* warm) {
   const int E = g.num_edges();
   const int S = static_cast<int>(terminals.size());
   A2A_REQUIRE(source_index >= 0 && source_index < S, "source index out of range");
@@ -212,7 +224,7 @@ std::vector<std::vector<double>> solve_child_lp(
     for (const EdgeId e : g.in_edges(dst)) model.add_coefficient(demand, var(slot, e), 1.0);
   }
 
-  const LpSolution sol = solve_lp(model, lp);
+  const LpSolution sol = solve_lp_warm(model, lp, warm);
   if (!sol.optimal()) {
     throw SolverError("child MCF LP failed: " + to_string(sol.status));
   }

@@ -11,6 +11,7 @@
 
 #include "graph/digraph.hpp"
 #include "lp/simplex.hpp"
+#include "mcf/sparse_flow.hpp"
 
 namespace a2a {
 
@@ -45,8 +46,10 @@ class TerminalPairs {
 struct LinkFlowSolution {
   double concurrent_flow = 0.0;  ///< F
   TerminalPairs pairs{std::vector<NodeId>{}};
-  /// per_commodity[pair index][edge id] — flow of that commodity on the edge.
-  std::vector<std::vector<double>> per_commodity;
+  /// per_commodity[pair index][edge id] — flow of that commodity on the
+  /// edge. Sparse: each commodity touches a handful of edges, so the old
+  /// dense S^2 x E matrix of doubles is now (edge, value) support lists.
+  std::vector<SparseFlow> per_commodity;
   long long lp_iterations = 0;
   double solve_seconds = 0.0;
 
@@ -67,24 +70,45 @@ struct GroupedFlowSolution {
 /// All nodes of g as the terminal set.
 [[nodiscard]] std::vector<NodeId> all_nodes(const DiGraph& g);
 
+/// Variable layout of the link-MCF LP: commodity-major flow variables. The
+/// single definition shared by the model builder and every consumer of
+/// LpSolution::values.
+[[nodiscard]] inline int link_mcf_var(int num_edges, int k, int e) {
+  return k * num_edges + e;
+}
+
+/// Builds the link-MCF LP (eqs. 1–5) without solving it. Variables follow
+/// link_mcf_var() with the concurrent rate F last (`*f_var`). Exposed so
+/// benchmarks and tests can time/inspect the exact model the solver entry
+/// points run.
+[[nodiscard]] LpModel build_link_mcf_model(const DiGraph& g,
+                                           const TerminalPairs& pairs,
+                                           int* f_var = nullptr);
+
 /// Exact link-based MCF (eqs. 1–5). Tractable only at small N (the point of
-/// Fig. 7); throws SolverError if the LP fails numerically.
+/// Fig. 7); throws SolverError if the LP fails numerically. A non-null
+/// `warm` is used as the LP starting basis when non-empty and is overwritten
+/// with the final basis, so sweeps over perturbed instances (Fig. 9) restart
+/// near-optimal.
 [[nodiscard]] LinkFlowSolution solve_link_mcf_exact(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const SimplexOptions& lp = {});
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
 
-/// Exact master LP (eqs. 6–9): grouped source-rooted commodities.
+/// Exact master LP (eqs. 6–9): grouped source-rooted commodities. Warm-start
+/// semantics as in solve_link_mcf_exact().
 [[nodiscard]] GroupedFlowSolution solve_master_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const SimplexOptions& lp = {});
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
 
 /// Exact child LP (eqs. 10–14) for one source: splits the master's
 /// per-source aggregate flow into per-destination flows at rate F.
 /// Returns flows indexed [destination terminal index][edge]; the source's
-/// own slot is left empty.
+/// own slot is left empty. Child LPs of different sources share their shape,
+/// so one source's final basis (`warm`, in/out) seeds the next source's
+/// solve.
 [[nodiscard]] std::vector<std::vector<double>> solve_child_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
     const std::vector<double>& source_flow, double F,
-    const SimplexOptions& lp = {});
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
 
 }  // namespace a2a

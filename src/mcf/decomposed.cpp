@@ -9,7 +9,8 @@ namespace a2a {
 
 GroupedFlowSolution solve_master(const DiGraph& g,
                                  const std::vector<NodeId>& terminals,
-                                 const DecomposedOptions& options) {
+                                 const DecomposedOptions& options,
+                                 LpBasis* master_warm) {
   MasterMode mode = options.master;
   if (mode == MasterMode::kAuto) {
     mode = static_cast<int>(terminals.size()) <= options.exact_master_limit
@@ -17,7 +18,7 @@ GroupedFlowSolution solve_master(const DiGraph& g,
                : MasterMode::kFptas;
   }
   if (mode == MasterMode::kExactLp) {
-    return solve_master_lp(g, terminals, options.lp);
+    return solve_master_lp(g, terminals, options.lp, master_warm);
   }
   FleischerOptions fo = options.fptas;
   fo.epsilon = options.fptas_epsilon;
@@ -27,21 +28,35 @@ GroupedFlowSolution solve_master(const DiGraph& g,
 LinkFlowSolution solve_decomposed_mcf(const DiGraph& g,
                                       const std::vector<NodeId>& terminals,
                                       const DecomposedOptions& options,
-                                      DecomposedTiming* timing) {
+                                      DecomposedTiming* timing,
+                                      LpBasis* master_warm) {
   const auto t0 = std::chrono::steady_clock::now();
-  const GroupedFlowSolution master = solve_master(g, terminals, options);
+  const GroupedFlowSolution master =
+      solve_master(g, terminals, options, master_warm);
   const auto t1 = std::chrono::steady_clock::now();
 
   const int S = static_cast<int>(terminals.size());
-  const int E = g.num_edges();
   TerminalPairs pairs(terminals);
   LinkFlowSolution out;
   out.pairs = pairs;
-  out.per_commodity.assign(static_cast<std::size_t>(pairs.count()),
-                           std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  out.per_commodity.resize(static_cast<std::size_t>(pairs.count()));
 
   const double F = master.concurrent_flow;
   std::vector<double> weakest(static_cast<std::size_t>(S), F);
+
+  // The child LPs of all sources share one shape (same variable and row
+  // counts, different rhs), so the first solve's basis is a near-optimal
+  // seed for every other source — each parallel task takes a private copy.
+  LpBasis child_seed;
+  if (options.child == ChildMode::kLp && S > 1) {
+    const auto flows = solve_child_lp(g, terminals, 0, master.per_source[0], F,
+                                      options.lp, &child_seed);
+    for (int di = 1; di < S; ++di) {
+      const int pair = pairs.index(0, di);
+      out.per_commodity[static_cast<std::size_t>(pair)] =
+          SparseFlow::from_dense(flows[static_cast<std::size_t>(di)]);
+    }
+  }
 
   ThreadPool pool(options.threads);
   pool.parallel_for(static_cast<std::size_t>(S), [&](std::size_t si) {
@@ -54,13 +69,16 @@ LinkFlowSolution solve_decomposed_mcf(const DiGraph& g,
       sink_terminal_index.push_back(di);
     }
     if (options.child == ChildMode::kLp) {
+      if (si == 0) return;  // solved above to produce the shared seed
+      LpBasis warm = child_seed;
       const auto flows = solve_child_lp(g, terminals, static_cast<int>(si),
-                                        master.per_source[si], F, options.lp);
+                                        master.per_source[si], F, options.lp,
+                                        &warm);
       for (std::size_t k = 0; k < sinks.size(); ++k) {
         const int di = sink_terminal_index[k];
         const int pair = pairs.index(static_cast<int>(si), di);
         out.per_commodity[static_cast<std::size_t>(pair)] =
-            flows[static_cast<std::size_t>(di)];
+            SparseFlow::from_dense(flows[static_cast<std::size_t>(di)]);
       }
       return;
     }
@@ -73,7 +91,8 @@ LinkFlowSolution solve_decomposed_mcf(const DiGraph& g,
       min_delivered = std::min(min_delivered, split.delivered[k]);
       const int di = sink_terminal_index[k];
       const int pair = pairs.index(static_cast<int>(si), di);
-      out.per_commodity[static_cast<std::size_t>(pair)] = split.per_sink_flow[k];
+      out.per_commodity[static_cast<std::size_t>(pair)] =
+          SparseFlow::from_dense(split.per_sink_flow[k]);
     }
     weakest[si] = min_delivered;
   });

@@ -26,8 +26,11 @@ enum class ChildMode { kLp, kCombinatorial };
 struct DecomposedOptions {
   MasterMode master = MasterMode::kAuto;
   ChildMode child = ChildMode::kCombinatorial;
-  /// Auto mode uses the exact LP master up to this many terminals.
-  int exact_master_limit = 40;
+  /// Auto mode uses the exact LP master up to this many terminals. Raised
+  /// from 40 with the sparse revised simplex: the GenKautz(56, d=4) master
+  /// LP solves in ~40s where the dense solver needed minutes at 40 (see
+  /// BENCH_lp.json).
+  int exact_master_limit = 56;
   double fptas_epsilon = 0.02;
   SimplexOptions lp;
   FleischerOptions fptas;
@@ -42,14 +45,20 @@ struct DecomposedTiming {
 
 /// Full decomposed solve: returns per-commodity link flows at the common
 /// rate F (the reported F is min(master F, weakest delivered commodity) and
-/// equals the master F up to tolerance).
+/// equals the master F up to tolerance). A non-null `master_warm` seeds the
+/// exact-LP master basis and receives the final one, so repeated pipeline
+/// runs over the same fabric shape (cache misses, sweeps) restart
+/// near-optimal. Child LPs share a shape across sources: the first child's
+/// basis seeds the remaining parallel children automatically.
 [[nodiscard]] LinkFlowSolution solve_decomposed_mcf(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const DecomposedOptions& options = {}, DecomposedTiming* timing = nullptr);
+    const DecomposedOptions& options = {}, DecomposedTiming* timing = nullptr,
+    LpBasis* master_warm = nullptr);
 
 /// Master stage only (mode-dispatched); exposed for Fig. 7's breakdown.
 [[nodiscard]] GroupedFlowSolution solve_master(const DiGraph& g,
                                                const std::vector<NodeId>& terminals,
-                                               const DecomposedOptions& options = {});
+                                               const DecomposedOptions& options = {},
+                                               LpBasis* master_warm = nullptr);
 
 }  // namespace a2a

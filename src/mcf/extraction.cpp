@@ -106,6 +106,13 @@ std::vector<WeightedPath> extract_widest_paths(const DiGraph& g, NodeId s,
   return out;
 }
 
+std::vector<WeightedPath> extract_widest_paths(const DiGraph& g, NodeId s,
+                                               NodeId t, const SparseFlow& flow,
+                                               double target, double tol) {
+  return extract_widest_paths(g, s, t, flow.to_dense(g.num_edges()), target,
+                              tol);
+}
+
 std::vector<double> prune_to_exact_flow(const DiGraph& g, NodeId s, NodeId t,
                                         const std::vector<double>& flow,
                                         double amount) {

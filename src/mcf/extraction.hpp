@@ -10,6 +10,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/paths.hpp"
+#include "mcf/sparse_flow.hpp"
 
 namespace a2a {
 
@@ -31,6 +32,12 @@ void cancel_cycles(const DiGraph& g, std::vector<double>& flow,
 /// been extracted (target < 0 means extract everything).
 [[nodiscard]] std::vector<WeightedPath> extract_widest_paths(
     const DiGraph& g, NodeId s, NodeId t, std::vector<double> flow,
+    double target = -1.0, double tol = 1e-9);
+
+/// Sparse-flow overload: the decomposed pipeline stores per-commodity flows
+/// as (edge, value) supports; extraction densifies once internally.
+[[nodiscard]] std::vector<WeightedPath> extract_widest_paths(
+    const DiGraph& g, NodeId s, NodeId t, const SparseFlow& flow,
     double target = -1.0, double tol = 1e-9);
 
 /// §3.1.1 post-processing: prunes a per-commodity flow so conservation holds

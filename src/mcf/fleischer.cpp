@@ -37,24 +37,32 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
   for (std::size_t e = 0; e < m; ++e) cap[e] = g.edge(static_cast<int>(e)).capacity;
   const double delta = initial_length_delta(eps, g.num_edges());
   std::vector<double> length(m);
-  for (std::size_t e = 0; e < m; ++e) length[e] = delta / cap[e];
+  // The dual value sum_e cap_e * length_e only ever grows (lengths are
+  // multiplied by factors >= 1), so it is maintained incrementally at every
+  // length update instead of re-summing all m edges per phase check.
+  double dual = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    length[e] = delta / cap[e];
+    dual += cap[e] * length[e];
+  }
 
   std::vector<std::vector<double>> flow(
       static_cast<std::size_t>(S), std::vector<double>(m, 0.0));
 
-  auto dual_value = [&] {
-    double d = 0.0;
-    for (std::size_t e = 0; e < m; ++e) d += cap[e] * length[e];
-    return d;
-  };
+  // Hoisted out of the phase loop: per-sink remaining demand and the
+  // per-step edge request accumulator (reset via its touched set).
+  std::vector<double> demand(static_cast<std::size_t>(S), 0.0);
+  std::vector<double> request(m, 0.0);
+  std::vector<EdgeId> requested;
+  requested.reserve(m);
 
   long long phases = 0;
-  while (dual_value() < 1.0 && phases < options.max_phases) {
+  while (dual < 1.0 && phases < options.max_phases) {
     ++phases;
     for (int si = 0; si < S; ++si) {
       const NodeId s = terminals[static_cast<std::size_t>(si)];
       // Remaining demand of 1 towards every other terminal this phase.
-      std::vector<double> demand(static_cast<std::size_t>(S), 1.0);
+      std::fill(demand.begin(), demand.end(), 1.0);
       demand[static_cast<std::size_t>(si)] = 0.0;
       for (int guard = 0; guard < 64 * S + 1024; ++guard) {
         double remaining = 0.0;
@@ -63,7 +71,7 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
         // Shortest-path tree under the current lengths; route every sink's
         // remaining demand along it, capacity-limited by a common factor.
         const DijkstraTree tree = dijkstra_tree(g, s, length);
-        std::vector<double> request(m, 0.0);
+        requested.clear();
         for (int di = 0; di < S; ++di) {
           const double dem = demand[static_cast<std::size_t>(di)];
           if (dem <= 0.0) continue;
@@ -71,20 +79,25 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
           while (at != s) {
             const EdgeId e = tree.parent_edge[static_cast<std::size_t>(at)];
             A2A_ASSERT(e >= 0, "terminal unreachable in Fleischer routing");
+            if (request[static_cast<std::size_t>(e)] == 0.0) requested.push_back(e);
             request[static_cast<std::size_t>(e)] += dem;
             at = g.edge(e).from;
           }
         }
         double gamma = 1.0;
-        for (std::size_t e = 0; e < m; ++e) {
-          if (request[e] > 0.0) gamma = std::min(gamma, cap[e] / request[e]);
+        for (const EdgeId e : requested) {
+          gamma = std::min(gamma, cap[static_cast<std::size_t>(e)] /
+                                      request[static_cast<std::size_t>(e)]);
         }
         auto& fs = flow[static_cast<std::size_t>(si)];
-        for (std::size_t e = 0; e < m; ++e) {
-          if (request[e] <= 0.0) continue;
-          const double routed = gamma * request[e];
-          fs[e] += routed;
-          length[e] *= 1.0 + eps * routed / cap[e];
+        for (const EdgeId e : requested) {
+          const std::size_t es = static_cast<std::size_t>(e);
+          const double routed = gamma * request[es];
+          request[es] = 0.0;
+          fs[es] += routed;
+          const double grown = length[es] * (1.0 + eps * routed / cap[es]);
+          dual += cap[es] * (grown - length[es]);
+          length[es] = grown;
         }
         for (auto& d : demand) d -= gamma * d;
       }
@@ -130,7 +143,12 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
   for (std::size_t e = 0; e < m; ++e) cap[e] = g.edge(static_cast<int>(e)).capacity;
   const double delta = initial_length_delta(eps, g.num_edges());
   std::vector<double> length(m);
-  for (std::size_t e = 0; e < m; ++e) length[e] = delta / cap[e];
+  // Incrementally maintained dual sum_e cap_e * length_e (monotone growing).
+  double dual = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    length[e] = delta / cap[e];
+    dual += cap[e] * length[e];
+  }
 
   PathFlowSolution out;
   out.weights.resize(K);
@@ -140,14 +158,8 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
     out.weights[k].assign(paths.candidates[k].size(), 0.0);
   }
 
-  auto dual_value = [&] {
-    double d = 0.0;
-    for (std::size_t e = 0; e < m; ++e) d += cap[e] * length[e];
-    return d;
-  };
-
   long long phases = 0;
-  while (dual_value() < 1.0 && phases < options.max_phases) {
+  while (dual < 1.0 && phases < options.max_phases) {
     ++phases;
     for (std::size_t k = 0; k < K; ++k) {
       double demand = 1.0;
@@ -172,8 +184,10 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
         }
         out.weights[k][best] += chunk;
         for (const EdgeId e : path) {
-          length[static_cast<std::size_t>(e)] *=
-              1.0 + eps * chunk / cap[static_cast<std::size_t>(e)];
+          const std::size_t es = static_cast<std::size_t>(e);
+          const double grown = length[es] * (1.0 + eps * chunk / cap[es]);
+          dual += cap[es] * (grown - length[es]);
+          length[es] = grown;
         }
         demand -= chunk;
       }

@@ -35,9 +35,13 @@ struct PathMcfSolution {
   long long lp_iterations = 0;
   double solve_seconds = 0.0;
 };
+/// A non-null `warm` seeds the LP basis (when non-empty) and receives the
+/// final one — the Fig. 9 disabled-link sweep re-solves the same candidate
+/// set under perturbed capacities, so each step restarts near-optimal.
 [[nodiscard]] PathMcfSolution solve_path_mcf_exact(const DiGraph& g,
                                                    const PathSet& paths,
-                                                   const SimplexOptions& lp = {});
+                                                   const SimplexOptions& lp = {},
+                                                   LpBasis* warm = nullptr);
 
 /// Max per-edge load if each commodity splits its unit demand over its
 /// candidate paths with the given weights (weights are normalized per

@@ -1,0 +1,72 @@
+// Sparse per-commodity edge flows.
+//
+// A commodity's flow touches a handful of edges (a few paths), but the
+// decomposed pipeline used to keep S^2 dense length-E vectors of doubles —
+// the dominant memory cost on large terminal sets. SparseFlow stores only
+// the (edge, value) support, sorted by edge id; operator[] keeps the old
+// dense-indexing call sites working via binary search.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "graph/digraph.hpp"
+
+namespace a2a {
+
+class SparseFlow {
+ public:
+  SparseFlow() = default;
+
+  /// Builds from a dense edge-flow vector, dropping entries <= tol.
+  [[nodiscard]] static SparseFlow from_dense(const std::vector<double>& dense,
+                                             double tol = 1e-10) {
+    SparseFlow out;
+    for (std::size_t e = 0; e < dense.size(); ++e) {
+      if (dense[e] > tol) {
+        out.edges_.push_back(static_cast<EdgeId>(e));
+        out.values_.push_back(dense[e]);
+      }
+    }
+    return out;
+  }
+
+  /// Appends an entry; edges must be pushed in increasing order (operator[]
+  /// binary-searches the support).
+  void push(EdgeId e, double value) {
+    A2A_ASSERT(edges_.empty() || e > edges_.back(),
+               "SparseFlow entries must be pushed in increasing edge order");
+    edges_.push_back(e);
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+  [[nodiscard]] const std::vector<EdgeId>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Flow on edge e (0 outside the support). Binary search — kept for the
+  /// dense-indexing idiom `flow[e]` used across tests and consumers.
+  [[nodiscard]] double operator[](std::size_t e) const {
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                     static_cast<EdgeId>(e));
+    if (it == edges_.end() || *it != static_cast<EdgeId>(e)) return 0.0;
+    return values_[static_cast<std::size_t>(it - edges_.begin())];
+  }
+
+  [[nodiscard]] std::vector<double> to_dense(int num_edges) const {
+    std::vector<double> out(static_cast<std::size_t>(num_edges), 0.0);
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      out[static_cast<std::size_t>(edges_[k])] = values_[k];
+    }
+    return out;
+  }
+
+ private:
+  std::vector<EdgeId> edges_;    ///< sorted ascending.
+  std::vector<double> values_;
+};
+
+}  // namespace a2a

@@ -4,11 +4,10 @@
 
 namespace a2a {
 
-TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
-                                const std::vector<NodeId>& terminals,
-                                const SimplexOptions& lp) {
+LpModel build_tsmcf_model(const DiGraph& g, int steps,
+                          const TerminalPairs& pairs,
+                          std::vector<int>* u_vars) {
   A2A_REQUIRE(steps >= 1, "tsMCF needs >= 1 step");
-  TerminalPairs pairs(terminals);
   const int K = pairs.count();
   const int E = g.num_edges();
 
@@ -23,9 +22,7 @@ TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
   }
 
   LpModel model(Sense::kMinimize);
-  auto var = [&](int k, int e, int t) {  // t in [1, steps]
-    return (k * E + e) * steps + (t - 1);
-  };
+  auto var = [&](int k, int e, int t) { return tsmcf_var(E, steps, k, e, t); };
   for (int k = 0; k < K; ++k) {
     const auto [s, d] = pairs.nodes(k);
     A2A_REQUIRE(dist_from[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] <= steps,
@@ -94,8 +91,21 @@ TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
       for (int t = 1; t <= steps; ++t) model.add_coefficient(dst_row, var(k, e, t), 1.0);
     }
   }
+  if (u_vars != nullptr) *u_vars = u_var;
+  return model;
+}
 
-  const LpSolution sol = solve_lp(model, lp);
+TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
+                                const std::vector<NodeId>& terminals,
+                                const SimplexOptions& lp, LpBasis* warm) {
+  TerminalPairs pairs(terminals);
+  const int K = pairs.count();
+  const int E = g.num_edges();
+  std::vector<int> u_var;
+  const LpModel model = build_tsmcf_model(g, steps, pairs, &u_var);
+  auto var = [&](int k, int e, int t) { return tsmcf_var(E, steps, k, e, t); };
+
+  const LpSolution sol = solve_lp_warm(model, lp, warm);
   if (!sol.optimal()) {
     throw SolverError("tsMCF LP failed: " + to_string(sol.status));
   }

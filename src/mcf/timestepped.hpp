@@ -31,12 +31,31 @@ struct TsMcfSolution {
   double solve_seconds = 0.0;
 };
 
+/// Variable layout of the tsMCF LP: flow of commodity k on edge e during
+/// step t (1-based). The single definition shared by the model builder and
+/// every consumer of LpSolution::values.
+[[nodiscard]] inline int tsmcf_var(int num_edges, int steps, int k, int e,
+                                   int t) {
+  return (k * num_edges + e) * steps + (t - 1);
+}
+
+/// Builds the tsMCF LP (eqs. 15–20) without solving it. Variables follow
+/// tsmcf_var() with the per-step peak-utilization variables U_t appended
+/// last (`*u_vars`, one per step). Exposed so benchmarks and tests can
+/// time/inspect the exact model solve_tsmcf_exact runs.
+[[nodiscard]] LpModel build_tsmcf_model(const DiGraph& g, int steps,
+                                        const TerminalPairs& pairs,
+                                        std::vector<int>* u_vars = nullptr);
+
 /// Exact tsMCF. The LP grows as O(K * E * steps) variables, so this is for
 /// small fabrics (the paper's N=8/N=27 testbeds; N=27 already requires the
 /// decomposed path-unrolled pipeline in schedule/compile_link.hpp).
-/// `steps` must be >= diameter(g).
+/// `steps` must be >= diameter(g). A non-null `warm` is used as the LP
+/// starting basis when non-empty and receives the final basis, letting
+/// repeated solves on the same fabric shape skip phase 1.
 [[nodiscard]] TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
                                               const std::vector<NodeId>& terminals,
-                                              const SimplexOptions& lp = {});
+                                              const SimplexOptions& lp = {},
+                                              LpBasis* warm = nullptr);
 
 }  // namespace a2a

@@ -3,9 +3,26 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/topologies.hpp"
+#include "mcf/concurrent_flow.hpp"
+#include "mcf/timestepped.hpp"
 
 namespace a2a {
 namespace {
+
+/// Solves with both backends and checks they agree on status and objective
+/// (the acceptance bar of the sparse-solver rewrite).
+LpSolution cross_check(const LpModel& model) {
+  const LpSolution sparse = solve_lp(model);
+  const LpSolution dense = solve_lp_dense(model);
+  EXPECT_EQ(sparse.status, dense.status);
+  if (sparse.optimal() && dense.optimal()) {
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                1e-6 * std::max(1.0, std::abs(dense.objective)));
+  }
+  return sparse;
+}
 
 TEST(Simplex, SolvesTextbookMaximization) {
   // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
@@ -194,6 +211,223 @@ TEST_P(SimplexRandomPacking, OptimumFeasibleAndDominant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomPacking, ::testing::Range(1, 17));
+
+// ---- sparse vs dense cross-checks -----------------------------------------
+
+TEST(SimplexCrossCheck, TextbookFixtures) {
+  {
+    LpModel m(Sense::kMaximize);
+    const int x = m.add_variable(0, kInfinity, 3);
+    const int y = m.add_variable(0, kInfinity, 5);
+    m.add_coefficient(m.add_row(RowType::kLessEqual, 4), x, 1);
+    m.add_coefficient(m.add_row(RowType::kLessEqual, 12), y, 2);
+    const int r = m.add_row(RowType::kLessEqual, 18);
+    m.add_coefficient(r, x, 3);
+    m.add_coefficient(r, y, 2);
+    cross_check(m);
+  }
+  {
+    LpModel m(Sense::kMinimize);
+    const int x = m.add_variable(0, kInfinity, 1);
+    const int y = m.add_variable(0, kInfinity, 2);
+    int r = m.add_row(RowType::kEqual, 3);
+    m.add_coefficient(r, x, 1);
+    m.add_coefficient(r, y, 1);
+    r = m.add_row(RowType::kGreaterEqual, 1);
+    m.add_coefficient(r, x, 1);
+    m.add_coefficient(r, y, -1);
+    cross_check(m);
+  }
+  {
+    // Infeasible.
+    LpModel m(Sense::kMinimize);
+    const int x = m.add_variable(0, kInfinity, 1);
+    m.add_coefficient(m.add_row(RowType::kGreaterEqual, 5), x, 1);
+    m.add_coefficient(m.add_row(RowType::kLessEqual, 3), x, 1);
+    cross_check(m);
+  }
+}
+
+/// Network LPs are the production workload: the full link-MCF models on the
+/// repository's topologies must agree between the two solvers on every
+/// fixture.
+class SimplexCrossCheckNetwork : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexCrossCheckNetwork, LinkMcfModelsAgree) {
+  DiGraph g;
+  switch (GetParam()) {
+    case 0: g = make_ring(5); break;
+    case 1: g = make_hypercube(3); break;
+    case 2: g = make_complete_bipartite(3, 3); break;
+    case 3: g = make_generalized_kautz(9, 2); break;
+    case 4: g = make_torus({3, 3}); break;
+    default: {
+      Rng rng(77);
+      g = make_random_regular(10, 3, rng);
+      break;
+    }
+  }
+  cross_check(build_link_mcf_model(g, TerminalPairs(all_nodes(g))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, SimplexCrossCheckNetwork,
+                         ::testing::Range(0, 6));
+
+TEST(SimplexCrossCheck, TsMcfModelAgrees) {
+  const DiGraph g = make_ring(5);
+  cross_check(
+      build_tsmcf_model(g, diameter(g) + 1, TerminalPairs(all_nodes(g))));
+}
+
+// ---- warm starts ----------------------------------------------------------
+
+TEST(SimplexWarmStart, ResolveFromOptimalBasisTakesNoPivots) {
+  const DiGraph g = make_hypercube(3);
+  const LpModel model = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution cold = solve_lp(model);
+  ASSERT_TRUE(cold.optimal());
+  const LpSolution warm = solve_lp(model, {}, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+/// Property sweep: on randomized network LPs, a warm start from the optimal
+/// basis of a capacity-perturbed sibling must reach the same optimum as a
+/// cold solve — and a warm start never changes the answer, only the path.
+class SimplexWarmStartRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmStartRandom, PerturbedResolveMatchesCold) {
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const DiGraph base = make_random_regular(8, 3, rng);
+  const LpModel base_model =
+      build_link_mcf_model(base, TerminalPairs(all_nodes(base)));
+  const LpSolution first = solve_lp(base_model);
+  ASSERT_TRUE(first.optimal());
+
+  // Shrink a few capacities (the Fig. 9 move): same LP shape, shifted rhs.
+  DiGraph g = base;
+  for (int k = 0; k < 3; ++k) {
+    const EdgeId e = static_cast<EdgeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+    g.set_capacity(e, 0.5);
+  }
+  const LpModel perturbed =
+      build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution cold = solve_lp(perturbed);
+  const LpSolution warm = solve_lp(perturbed, {}, &first.basis);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-6 * std::max(1.0, std::abs(cold.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexWarmStartRandom, ::testing::Range(0, 8));
+
+TEST(SimplexWarmStart, IncompatibleBasisFallsBackToCold) {
+  // Basis from a different-shaped LP must be ignored, not crash the solve.
+  LpModel small(Sense::kMaximize);
+  const int x = small.add_variable(0, kInfinity, 1);
+  const int r = small.add_row(RowType::kLessEqual, 2);
+  small.add_coefficient(r, x, 1);
+  const LpSolution small_sol = solve_lp(small);
+  ASSERT_TRUE(small_sol.optimal());
+
+  const DiGraph g = make_ring(4);
+  const LpModel big = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution sol = solve_lp(big, {}, &small_sol.basis);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_FALSE(sol.warm_started);
+  EXPECT_NEAR(sol.objective, solve_lp(big).objective, 1e-9);
+}
+
+TEST(SimplexWarmStart, McfEntryPointsRoundTripBases) {
+  const DiGraph g = make_hypercube(3);
+  LpBasis warm;
+  const auto a = solve_link_mcf_exact(g, all_nodes(g), {}, &warm);
+  EXPECT_FALSE(warm.empty());
+  const auto b = solve_link_mcf_exact(g, all_nodes(g), {}, &warm);
+  EXPECT_NEAR(a.concurrent_flow, b.concurrent_flow, 1e-9);
+  EXPECT_EQ(b.lp_iterations, 0);
+}
+
+// ---- degenerate and bound-flip pivot paths --------------------------------
+
+TEST(SimplexDegenerate, AssignmentProblemHeavilyDegenerate) {
+  // 4x4 assignment relaxation: every vertex is massively degenerate; the LP
+  // optimum equals the min-cost matching (here the diagonal, cost 4).
+  LpModel m(Sense::kMinimize);
+  int var[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      var[i][j] = m.add_variable(0, 1, i == j ? 1.0 : 10.0 + i + j);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    const int r = m.add_row(RowType::kEqual, 1);
+    for (int j = 0; j < 4; ++j) m.add_coefficient(r, var[i][j], 1);
+  }
+  for (int j = 0; j < 4; ++j) {
+    const int r = m.add_row(RowType::kEqual, 1);
+    for (int i = 0; i < 4; ++i) m.add_coefficient(r, var[i][j], 1);
+  }
+  const LpSolution s = cross_check(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+}
+
+TEST(SimplexDegenerate, TiedRatioTestStillTerminates) {
+  // All rows give identical ratios: the tie-break and the Bland fallback
+  // must cope without cycling.
+  LpModel m(Sense::kMaximize);
+  const int x = m.add_variable(0, kInfinity, 1);
+  const int y = m.add_variable(0, kInfinity, 1);
+  for (int i = 0; i < 6; ++i) {
+    const int r = m.add_row(RowType::kLessEqual, 2);
+    m.add_coefficient(r, x, 1);
+    m.add_coefficient(r, y, 1);
+  }
+  const LpSolution s = cross_check(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexBoundFlip, BoxedNetworkOptimumViaFlipsOnly) {
+  // tsMCF-style boxed variables (all f <= 1): the optimum sets most
+  // variables at bounds, exercising the flip path of the ratio test.
+  LpModel m(Sense::kMaximize);
+  const int n = 20;
+  std::vector<int> vars;
+  const int cap = m.add_row(RowType::kLessEqual, 15.0);
+  for (int i = 0; i < n; ++i) {
+    const int v = m.add_variable(0, 1, 1.0 + 0.001 * i);
+    m.add_coefficient(cap, v, i % 3 == 0 ? 0.5 : 1.0);
+    vars.push_back(v);
+  }
+  const LpSolution s = cross_check(m);
+  ASSERT_TRUE(s.optimal());
+  for (const int v : vars) {
+    EXPECT_LE(s.values[static_cast<std::size_t>(v)], 1.0 + 1e-9);
+    EXPECT_GE(s.values[static_cast<std::size_t>(v)], -1e-9);
+  }
+}
+
+TEST(SimplexBoundFlip, FlipOnlySolveLeavesBasisUntouched) {
+  // Optimum reached purely by flipping variables to their upper bounds; the
+  // final basis must still round-trip as a warm start.
+  LpModel m(Sense::kMaximize);
+  for (int i = 0; i < 8; ++i) {
+    const int v = m.add_variable(0, 1, 1.0);
+    m.add_coefficient(m.add_row(RowType::kLessEqual, 2.0), v, 1.0);
+  }
+  const LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-7);
+  const LpSolution again = solve_lp(m, {}, &s.basis);
+  ASSERT_TRUE(again.optimal());
+  EXPECT_EQ(again.iterations, 0);
+}
 
 }  // namespace
 }  // namespace a2a
