@@ -1,20 +1,24 @@
 // LP-solver benchmark: sparse revised simplex (solve_lp) vs the dense
 // reference (solve_lp_dense) on the Fig. 7 algorithm-runtime LPs, plus the
-// warm-start Fig. 9-style disabled-link sweep.
+// warm-start Fig. 9-style disabled-link sweep comparing cold starts,
+// primal warm starts (feasibility restoration), and DUAL warm starts (the
+// dual simplex iterating directly on the still-dual-feasible basis).
 //
 // Usage:
 //   bench_lp [--smoke] [--json PATH]
 //
 // --smoke runs a reduced set and exits nonzero when (a) the two solvers
 // disagree on any objective beyond 1e-6, (b) the sparse solver fails to beat
-// the dense one on the largest smoke LP, or (c) the warm-started sweep needs
-// more simplex iterations than cold starts — so solver regressions fail CI
-// loudly instead of rotting silently. --json writes the measurements as a
-// BENCH_lp.json trajectory point.
+// the dense one on the largest smoke LP, (c) the warm-started sweep needs
+// more simplex iterations than cold starts, or (d) the dual-warm sweep
+// changes an objective or needs more iterations than cold starts — so
+// solver regressions fail CI loudly instead of rotting silently. --json
+// writes the measurements as a BENCH_lp.json trajectory point.
 #include "bench_util.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -63,9 +67,11 @@ Comparison compare(const std::string& name, const LpModel& model) {
 struct WarmSweep {
   int scenarios = 0;
   double cold_seconds = 0.0;
-  double warm_seconds = 0.0;
+  double warm_seconds = 0.0;   ///< primal warm starts (restoration).
+  double dual_seconds = 0.0;   ///< dual warm starts.
   long long cold_iterations = 0;
   long long warm_iterations = 0;
+  long long dual_iterations = 0;
   bool objectives_match = true;
 };
 
@@ -125,21 +131,31 @@ int main(int argc, char** argv) {
       scenarios.push_back(std::move(g));
     }
     sweep.scenarios = static_cast<int>(scenarios.size());
-    LpBasis warm;
+    LpBasis warm_primal;
+    LpBasis warm_dual;
     for (const DiGraph& g : scenarios) {
       const auto cold = solve_path_mcf_exact(g, candidates);
-      const auto warm_sol = solve_path_mcf_exact(g, candidates, {}, &warm);
+      const auto warm_sol = solve_path_mcf_exact(g, candidates, {},
+                                                 &warm_primal,
+                                                 LpWarmMode::kPrimal);
+      const auto dual_sol = solve_path_mcf_exact(g, candidates, {},
+                                                 &warm_dual,
+                                                 LpWarmMode::kDual);
       sweep.cold_seconds += cold.solve_seconds;
       sweep.warm_seconds += warm_sol.solve_seconds;
+      sweep.dual_seconds += dual_sol.solve_seconds;
       sweep.cold_iterations += cold.lp_iterations;
       sweep.warm_iterations += warm_sol.lp_iterations;
-      if (std::abs(cold.concurrent_flow - warm_sol.concurrent_flow) > 1e-6) {
+      sweep.dual_iterations += dual_sol.lp_iterations;
+      if (std::abs(cold.concurrent_flow - warm_sol.concurrent_flow) > 1e-6 ||
+          std::abs(cold.concurrent_flow - dual_sol.concurrent_flow) > 1e-6) {
         sweep.objectives_match = false;
       }
     }
     std::cout << "  fig9_warm_sweep(" << sweep.scenarios << " scenarios): cold "
-              << sweep.cold_iterations << " it -> warm " << sweep.warm_iterations
-              << " it\n\n";
+              << sweep.cold_iterations << " it -> primal-warm "
+              << sweep.warm_iterations << " it -> dual-warm "
+              << sweep.dual_iterations << " it\n\n";
   }
 
   // ---- report -------------------------------------------------------------
@@ -158,14 +174,17 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nFig. 9-style warm sweep (" << sweep.scenarios
             << " scenarios): cold " << sweep.cold_seconds << "s/"
-            << sweep.cold_iterations << " it, warm " << sweep.warm_seconds
-            << "s/" << sweep.warm_iterations << " it, objectives "
+            << sweep.cold_iterations << " it, primal-warm "
+            << sweep.warm_seconds << "s/" << sweep.warm_iterations
+            << " it, dual-warm " << sweep.dual_seconds << "s/"
+            << sweep.dual_iterations << " it, objectives "
             << (sweep.objectives_match ? "match" : "MISMATCH") << "\n";
 
   if (!json_path.empty()) {
     std::ostringstream js;
     js << "{\n  \"benchmark\": \"bench_lp\",\n  \"mode\": \""
        << (smoke ? "smoke" : "full") << "\",\n  \"comparisons\": [\n";
+    // (object is appended into the trajectory array below)
     for (std::size_t i = 0; i < comparisons.size(); ++i) {
       const auto& c = comparisons[i];
       js << "    {\"lp\": \"" << c.name << "\", \"dense_seconds\": "
@@ -179,12 +198,51 @@ int main(int argc, char** argv) {
     js << "  ],\n  \"fig9_warm_sweep\": {\"scenarios\": " << sweep.scenarios
        << ", \"cold_seconds\": " << sweep.cold_seconds
        << ", \"warm_seconds\": " << sweep.warm_seconds
+       << ", \"dual_seconds\": " << sweep.dual_seconds
        << ", \"cold_iterations\": " << sweep.cold_iterations
        << ", \"warm_iterations\": " << sweep.warm_iterations
+       << ", \"dual_iterations\": " << sweep.dual_iterations
        << ", \"objectives_match\": " << (sweep.objectives_match ? "true" : "false")
        << "}\n}\n";
-    std::ofstream(json_path) << js.str();
-    std::cout << "wrote " << json_path << "\n";
+    // BENCH_lp.json is a trajectory: an array of run records, one appended
+    // per invocation. Splice into an existing array rather than truncating
+    // the history; anything else at the path is replaced by a fresh array.
+    std::string record = js.str();
+    while (!record.empty() && record.back() == '\n') record.pop_back();
+    std::string existing;
+    {
+      std::ifstream in(json_path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+    while (!existing.empty() &&
+           std::isspace(static_cast<unsigned char>(existing.back()))) {
+      existing.pop_back();
+    }
+    std::string out_text;
+    if (!existing.empty() && existing.front() == '{' && existing.back() == '}') {
+      // Old-format file (the pre-trajectory bench wrote one bare object):
+      // migrate it as the array's first record instead of discarding it.
+      out_text = "[\n" + existing + ",\n" + record + "\n]\n";
+    } else if (!existing.empty() && existing.front() == '[' && existing.back() == ']') {
+      existing.pop_back();
+      while (!existing.empty() &&
+             std::isspace(static_cast<unsigned char>(existing.back()))) {
+        existing.pop_back();
+      }
+      // "[]" (an emptied history) splices to a leading comma; treat any
+      // array with no last record to attach to as a fresh file instead.
+      if (existing.size() > 1 && existing.back() == '}') {
+        out_text = existing + ",\n" + record + "\n]\n";
+      } else {
+        out_text = "[\n" + record + "\n]\n";
+      }
+    } else {
+      out_text = "[\n" + record + "\n]\n";
+    }
+    std::ofstream(json_path) << out_text;
+    std::cout << "appended to " << json_path << "\n";
   }
 
   // ---- regression gate ----------------------------------------------------
@@ -204,6 +262,12 @@ int main(int argc, char** argv) {
   if (sweep.warm_iterations > sweep.cold_iterations) {
     std::cerr << "FAIL: warm starts took more simplex iterations ("
               << sweep.warm_iterations << ") than cold starts ("
+              << sweep.cold_iterations << ")\n";
+    failed = true;
+  }
+  if (sweep.dual_iterations > sweep.cold_iterations) {
+    std::cerr << "FAIL: dual warm starts took more simplex iterations ("
+              << sweep.dual_iterations << ") than cold starts ("
               << sweep.cold_iterations << ")\n";
     failed = true;
   }

@@ -43,38 +43,49 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   // Work-stealing via a shared atomic index keeps task-queue overhead at one
-  // enqueued closure per worker regardless of `count`.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(0);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error = std::make_shared<std::exception_ptr>();
-  auto error_mutex = std::make_shared<std::mutex>();
-
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
+  // enqueued closure per worker regardless of `count`. All cross-thread
+  // coordination lives in one shared block; the exception slot is written
+  // AND read under the same mutex, so its publication to the caller never
+  // relies on an atomic flag alone (the old scheme wrote the exception_ptr
+  // after flipping the flag, leaving a window where the rethrow could read
+  // a half-published pointer).
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    /// Failure hint: lets other workers skip the remaining iterations once
+    /// an exception is pending (the caller rethrows, so their results would
+    /// be discarded anyway).
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;  ///< guarded by error_mutex.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool done = false;  ///< guarded by done_mutex.
+  };
+  auto state = std::make_shared<SharedState>();
 
   const std::size_t n_tasks = std::min<std::size_t>(workers_.size(), count);
-  remaining->store(n_tasks);
+  state->remaining.store(n_tasks, std::memory_order_relaxed);
 
-  auto body = [=, &done_mutex, &done_cv, &done] {
+  // `fn` is captured by reference: the caller blocks until every body has
+  // finished, so it strictly outlives all uses.
+  auto body = [state, &fn, count] {
     for (;;) {
-      const std::size_t i = next->fetch_add(1);
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
+      if (state->failed.load(std::memory_order_acquire)) break;
       try {
         fn(i);
       } catch (...) {
-        bool expected = false;
-        if (first_error->compare_exchange_strong(expected, true)) {
-          std::lock_guard lock(*error_mutex);
-          *error = std::current_exception();
-        }
+        std::lock_guard lock(state->error_mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_release);
       }
     }
-    if (remaining->fetch_sub(1) == 1) {
-      std::lock_guard lock(done_mutex);
-      done = true;
-      done_cv.notify_all();
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(state->done_mutex);
+      state->done = true;
+      state->done_cv.notify_all();
     }
   };
 
@@ -84,9 +95,16 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   cv_.notify_all();
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done; });
-  if (first_error->load()) std::rethrow_exception(*error);
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] { return state->done; });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(state->error_mutex);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace a2a

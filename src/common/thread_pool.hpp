@@ -26,7 +26,9 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// iterations finish. Exceptions from tasks are captured and the first one
-  /// is rethrown on the calling thread.
+  /// is rethrown on the calling thread; once a task has thrown, workers may
+  /// skip iterations that have not started yet (the results would be
+  /// discarded by the rethrow anyway).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -34,8 +34,11 @@ void encode_raw(const std::int64_t* words, std::size_t count,
 
 void decode_raw(const char* data, std::size_t size, std::int64_t* out,
                 std::size_t count) {
-  A2A_REQUIRE(size == count * 8, "raw chunk size mismatch: ", size,
-              " bytes for ", count, " words");
+  // Compare via division: `count * 8` could wrap for a hostile count near
+  // SIZE_MAX, turning a mismatch into a false pass.
+  A2A_REQUIRE(size % 8 == 0 && size / 8 == count,
+              "raw chunk size mismatch: ", size, " bytes for ", count,
+              " words");
   const std::string_view bytes(data, size);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = static_cast<std::int64_t>(binio::get_uint(bytes, i * 8, 8));

@@ -32,7 +32,13 @@ void encode_words(SchedBinCodec codec, const std::int64_t* words,
 
 /// Decompresses exactly `count` words from data[0, size) into `out`.
 /// Throws InvalidArgument when the payload is malformed or does not contain
-/// exactly `count` words.
+/// exactly `count` words. Output growth is clamped to the declared decoded
+/// size: no decoder ever writes past out[count), whatever the payload
+/// claims (an rle run overflowing the chunk is an error, not an overrun),
+/// so `count` — not attacker-controlled frame contents — bounds the
+/// allocation a caller must provision. Callers sizing `count` from an
+/// untrusted header must validate it first (see schedbin.cpp's decode
+/// budget and per-chunk minimum-payload clamps).
 void decode_words(SchedBinCodec codec, const char* data, std::size_t size,
                   std::int64_t* out, std::size_t count);
 

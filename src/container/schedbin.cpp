@@ -36,6 +36,9 @@ std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
                              const std::vector<std::int64_t>& words,
                              const SchedBinOptions& options) {
   A2A_REQUIRE(options.chunk_words > 0, "chunk_words must be positive");
+  A2A_REQUIRE(options.chunk_words <= kSchedBinMaxChunkWords,
+              "chunk_words ", options.chunk_words, " above the ",
+              kSchedBinMaxChunkWords, " ceiling");
   (void)codec_name(options.codec);  // validates the codec id.
   const std::size_t chunks = chunk_count(words.size(), options.chunk_words);
 
@@ -85,7 +88,20 @@ struct ParsedContainer {
   std::vector<std::uint32_t> chunk_crcs;
 };
 
-ParsedContainer parse_container(std::string_view bytes) {
+/// Least bytes `words` payload words can occupy under `codec`; anything
+/// smaller cannot be a valid chunk, so a header demanding a large decode
+/// from a tiny payload is rejected before any decode buffer is sized.
+std::size_t min_encoded_bytes(SchedBinCodec codec, std::size_t words) {
+  switch (codec) {
+    case SchedBinCodec::kRaw: return words * 8;       // exact, checked below
+    case SchedBinCodec::kDelta: return words;         // >= 1 byte per svarint
+    case SchedBinCodec::kRle: return words > 0 ? 2 : 0;  // >= one (value, run)
+  }
+  return 0;
+}
+
+ParsedContainer parse_container(std::string_view bytes,
+                                std::uint64_t max_decoded_bytes) {
   A2A_REQUIRE(bytes.size() >= kHeaderBytes,
               "SchedBin blob too small: ", bytes.size(), " bytes");
   A2A_REQUIRE(std::memcmp(bytes.data(), kSchedBinMagic,
@@ -114,8 +130,15 @@ ParsedContainer parse_container(std::string_view bytes) {
   info.chunk_words = static_cast<std::uint32_t>(get_uint(bytes, 48, 4));
   info.num_chunks = static_cast<std::uint32_t>(get_uint(bytes, 52, 4));
   A2A_REQUIRE(info.chunk_words > 0, "SchedBin chunk_words is zero");
+  A2A_REQUIRE(info.chunk_words <= kSchedBinMaxChunkWords,
+              "SchedBin chunk_words ", info.chunk_words, " above the ",
+              kSchedBinMaxChunkWords, " ceiling");
   A2A_REQUIRE(info.word_count <= kMaxWordCount,
               "SchedBin word count ", info.word_count, " is implausibly large");
+  A2A_REQUIRE(info.word_count * 8 <= max_decoded_bytes,
+              "SchedBin decoded payload would be ", info.word_count * 8,
+              " bytes, above the ", max_decoded_bytes,
+              "-byte decode budget — refusing to allocate");
   A2A_REQUIRE(info.num_chunks == chunk_count(info.word_count, info.chunk_words),
               "SchedBin chunk count ", info.num_chunks,
               " inconsistent with word count ", info.word_count);
@@ -130,6 +153,24 @@ ParsedContainer parse_container(std::string_view bytes) {
   for (std::uint32_t c = 0; c < info.num_chunks; ++c) {
     const std::size_t entry = kHeaderBytes + c * kDirEntryBytes;
     const auto size = static_cast<std::uint32_t>(get_uint(bytes, entry, 4));
+    // Growth clamp: the chunk's declared decoded size must be reachable
+    // from its payload under the codec's best possible compression (raw is
+    // byte-exact, delta >= 1 byte/word, rle >= one run). A directory entry
+    // that breaks this is corrupt, and failing here keeps the error ahead
+    // of both the payload allocation and the per-chunk decoders.
+    const std::size_t lo_word = static_cast<std::size_t>(c) * info.chunk_words;
+    const std::size_t hi_word = std::min<std::size_t>(
+        static_cast<std::size_t>(info.word_count), lo_word + info.chunk_words);
+    const std::size_t declared = hi_word - lo_word;
+    const std::size_t floor_bytes = min_encoded_bytes(info.codec, declared);
+    A2A_REQUIRE(size >= floor_bytes,
+                "SchedBin chunk ", c, " declares ", declared,
+                " decoded words but holds only ", size,
+                " payload bytes (needs >= ", floor_bytes, ")");
+    if (info.codec == SchedBinCodec::kRaw) {
+      A2A_REQUIRE(size == floor_bytes, "SchedBin raw chunk ", c, " holds ",
+                  size, " bytes for ", declared, " words");
+    }
     pc.chunk_offsets.push_back(offset);
     pc.chunk_sizes.push_back(size);
     pc.chunk_crcs.push_back(static_cast<std::uint32_t>(get_uint(bytes, entry + 4, 4)));
@@ -176,8 +217,9 @@ std::string link_schedule_to_schedbin(const LinkSchedule& schedule,
 }
 
 LinkSchedule link_schedule_from_schedbin(std::string_view bytes,
-                                         ThreadPool* pool) {
-  const ParsedContainer pc = parse_container(bytes);
+                                         ThreadPool* pool,
+                                         std::uint64_t max_decoded_bytes) {
+  const ParsedContainer pc = parse_container(bytes, max_decoded_bytes);
   A2A_REQUIRE(pc.info.kind == SchedBinKind::kLink,
               "not a link-schedule SchedBin");
   const std::vector<std::int64_t> words = decode_payload(bytes, pc, pool);
@@ -195,8 +237,9 @@ std::string path_schedule_to_schedbin(const DiGraph& g,
 
 PathSchedule path_schedule_from_schedbin(const DiGraph& g,
                                          std::string_view bytes,
-                                         ThreadPool* pool) {
-  const ParsedContainer pc = parse_container(bytes);
+                                         ThreadPool* pool,
+                                         std::uint64_t max_decoded_bytes) {
+  const ParsedContainer pc = parse_container(bytes, max_decoded_bytes);
   A2A_REQUIRE(pc.info.kind == SchedBinKind::kPath,
               "not a path-schedule SchedBin");
   const std::vector<std::int64_t> words = decode_payload(bytes, pc, pool);
@@ -205,8 +248,9 @@ PathSchedule path_schedule_from_schedbin(const DiGraph& g,
                                   static_cast<std::size_t>(pc.info.record_count));
 }
 
-SchedBinInfo schedbin_inspect(std::string_view bytes) {
-  const ParsedContainer pc = parse_container(bytes);
+SchedBinInfo schedbin_inspect(std::string_view bytes,
+                              std::uint64_t max_decoded_bytes) {
+  const ParsedContainer pc = parse_container(bytes, max_decoded_bytes);
   for (std::uint32_t c = 0; c < pc.info.num_chunks; ++c) {
     A2A_REQUIRE(crc32(bytes.data() + pc.chunk_offsets[c], pc.chunk_sizes[c]) ==
                     pc.chunk_crcs[c],

@@ -49,6 +49,19 @@ inline constexpr std::uint16_t kSchedBinVersion = 1;
 
 enum class SchedBinKind : std::uint8_t { kLink = 1, kPath = 2 };
 
+/// Hard ceiling on words per chunk (128 MiB raw). Far above any schedule the
+/// toolchain emits; headers claiming more are corrupt or hostile, and
+/// rejecting them bounds the per-chunk decode buffers a blob can demand.
+inline constexpr std::uint32_t kSchedBinMaxChunkWords = 1u << 24;
+
+/// Default ceiling on the DECODED payload size (1 GiB) the readers will
+/// allocate for one container. The word count is a header field that is not
+/// covered by any CRC, so without this clamp a small hostile blob could
+/// declare a multi-terabyte payload and drive the decoder into a wild
+/// allocation before any chunk is even touched. Callers with genuinely
+/// larger artifacts pass an explicit budget.
+inline constexpr std::uint64_t kSchedBinDefaultDecodeBudget = 1ULL << 30;
+
 struct SchedBinOptions {
   SchedBinCodec codec = SchedBinCodec::kDelta;
   /// Words per chunk. The default (64Ki words = 512 KiB raw) keeps chunk
@@ -80,17 +93,21 @@ struct SchedBinInfo {
     const LinkSchedule& schedule, const SchedBinOptions& options = {});
 
 [[nodiscard]] LinkSchedule link_schedule_from_schedbin(
-    std::string_view bytes, ThreadPool* pool = nullptr);
+    std::string_view bytes, ThreadPool* pool = nullptr,
+    std::uint64_t max_decoded_bytes = kSchedBinDefaultDecodeBudget);
 
 [[nodiscard]] std::string path_schedule_to_schedbin(
     const DiGraph& g, const PathSchedule& schedule,
     const SchedBinOptions& options = {});
 
 [[nodiscard]] PathSchedule path_schedule_from_schedbin(
-    const DiGraph& g, std::string_view bytes, ThreadPool* pool = nullptr);
+    const DiGraph& g, std::string_view bytes, ThreadPool* pool = nullptr,
+    std::uint64_t max_decoded_bytes = kSchedBinDefaultDecodeBudget);
 
 /// Validates magic/version/structure and every chunk CRC without decoding.
 /// Throws InvalidArgument on any corruption.
-[[nodiscard]] SchedBinInfo schedbin_inspect(std::string_view bytes);
+[[nodiscard]] SchedBinInfo schedbin_inspect(
+    std::string_view bytes,
+    std::uint64_t max_decoded_bytes = kSchedBinDefaultDecodeBudget);
 
 }  // namespace a2a

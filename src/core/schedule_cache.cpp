@@ -224,9 +224,7 @@ GeneratedSchedule generated_schedule_from_bytes(std::string_view bytes) {
 // ------------------------------------------------------------ the cache ---
 
 ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
-    : options_(std::move(options)) {
-  A2A_REQUIRE(options_.max_entries > 0, "cache capacity must be positive");
-}
+    : options_(std::move(options)) {}
 
 std::string ScheduleCache::entry_path(const std::string& fingerprint) const {
   if (options_.disk_dir.empty()) return {};
@@ -325,6 +323,11 @@ void ScheduleCache::touch_locked(const std::string& fingerprint) {
 
 void ScheduleCache::insert_memory_locked(const std::string& fingerprint,
                                          const GeneratedSchedule& schedule) {
+  // max_entries == 0 disables the memory tier outright. Without this gate
+  // every insert would be admitted and then immediately evicted by the
+  // capacity sweep below (pure churn), and a zero-capacity promote-from-disk
+  // would do the same on every disk hit.
+  if (options_.max_entries == 0) return;
   if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
     it->second.schedule = schedule;
     touch_locked(fingerprint);

@@ -27,7 +27,9 @@
 namespace a2a {
 
 struct ScheduleCacheOptions {
-  /// Capacity of the in-memory LRU tier.
+  /// Capacity of the in-memory LRU tier. 0 disables the memory tier: every
+  /// lookup goes to the disk tier (when configured) and nothing is retained
+  /// in memory — useful for memory-constrained fleets sharing a disk cache.
   std::size_t max_entries = 64;
   /// Directory for the on-disk tier ("" disables it). Created on first use.
   std::string disk_dir;

@@ -1,791 +1,448 @@
-// Sparse revised simplex — the production solve_lp() implementation.
+// Primal driver of the sparse revised simplex and the solve_lp() dispatch.
 //
-// Standard form: min c'x  s.t.  A x = b,  lo <= x <= up, with
-// x = [structurals | slacks | artificials]; >= rows are negated up front so
-// every slack has coefficient +1, equality rows get a [0,0]-fixed slack.
-//
-// Versus the dense reference (dense_simplex.cpp):
-//   * the constraint matrix lives in CSC (plus a CSR mirror for pivot rows);
-//   * the basis is a sparse LU kept alive across pivots, extended by a
-//     product-form eta file — FTRAN/BTRAN are sparse triangular solves, so
-//     there is no O(m^2)-per-pivot inverse update and no O(m^3) invert;
-//   * pricing is Devex with incrementally maintained reduced costs (the
-//     pivot row is priced out through the CSR mirror), not a full Dantzig
-//     scan of every column's dot product per iteration;
-//   * a warm-start basis can seed the solve, skipping phase 1 entirely when
-//     the supplied basis is still primal feasible.
+// The basis engine (standard-form construction, warm-start import, sparse LU
+// + eta file, reduced costs) lives in simplex_core.{hpp,cpp} and is shared
+// with the dual simplex (dual_simplex.cpp). This file owns:
+//   * run_primal() — two-phase primal simplex: Devex pricing with
+//     incrementally maintained reduced costs, a bound-flip ratio test, and
+//     artificial-free feasibility restoration for warm bases whose basic
+//     values moved out of bounds;
+//   * solve_lp() — warm-mode dispatch between the primal and dual drivers,
+//     with a cold primal re-solve as the fallback whenever a warm path
+//     resists repair.
 #include "lp/simplex.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 
-#include "lp/sparse.hpp"
-#include "lp/sparse_lu.hpp"
+#include "lp/simplex_core.hpp"
 
 namespace a2a {
 
-namespace {
+namespace lp_detail {
 
-// Same underlying values as LpVarStatus so basis import/export is a cast.
-enum class VarState : unsigned char { kAtLower, kAtUpper, kBasic };
-
-class SparseSimplex {
- public:
-  SparseSimplex(const LpModel& model, const SimplexOptions& options,
-                const LpBasis* warm_start)
-      : options_(options), m_(model.num_rows()) {
-    build(model, warm_start);
+LpSolution SimplexCore::run_primal(const LpModel& model) {
+  const auto start = std::chrono::steady_clock::now();
+  LpSolution out;
+  out.warm_started = warm_started_;
+  if (needs_restoration_) {
+    // Warm basis adopted with out-of-bound basic values (e.g. the Fig. 9
+    // sweep shrank capacities under the previous optimum). Artificial-free
+    // composite phase 1: drive the infeasibility sum to zero in place.
+    if (!restore_feasibility()) {
+      warm_failed_ = true;
+      out.status = LpStatus::kIterationLimit;
+      finish(out, model, start);
+      return out;
+    }
+    needs_restoration_ = false;
   }
-
-  /// True when a warm-start basis was adopted but feasibility restoration
-  /// failed — the caller should re-solve cold.
-  [[nodiscard]] bool warm_failed() const { return warm_failed_; }
-
-  LpSolution run(const LpModel& model) {
-    const auto start = std::chrono::steady_clock::now();
-    LpSolution out;
-    out.warm_started = warm_started_;
-    if (needs_restoration_) {
-      // Warm basis adopted with out-of-bound basic values (e.g. the Fig. 9
-      // sweep shrank capacities under the previous optimum). Artificial-free
-      // composite phase 1: drive the infeasibility sum to zero in place.
-      if (!restore_feasibility()) {
-        warm_failed_ = true;
-        out.status = LpStatus::kIterationLimit;
-        finish(out, model, start);
-        return out;
-      }
+  if (needs_phase1_) {
+    set_phase_costs(/*phase1=*/true);
+    const LpStatus s = iterate_primal();
+    if (s != LpStatus::kOptimal) {
+      out.status = s == LpStatus::kUnbounded ? LpStatus::kInfeasible : s;
+      finish(out, model, start);
+      return out;
     }
-    if (needs_phase1_) {
-      set_phase_costs(/*phase1=*/true);
-      const LpStatus s = iterate();
-      if (s != LpStatus::kOptimal) {
-        out.status = s == LpStatus::kUnbounded ? LpStatus::kInfeasible : s;
-        finish(out, model, start);
-        return out;
-      }
-      if (phase_objective() > 1e-6) {
-        out.status = LpStatus::kInfeasible;
-        finish(out, model, start);
-        return out;
-      }
-      // Pin every artificial to zero so it can never re-enter; basic
-      // artificials at value 0 stay put (their rows are redundant).
-      for (int j = n_structural_ + m_; j < num_vars(); ++j) up_[j] = 0.0;
+    if (phase_objective() > options_.phase1_tol) {
+      out.status = LpStatus::kInfeasible;
+      finish(out, model, start);
+      return out;
     }
-    set_phase_costs(/*phase1=*/false);
-    out.status = iterate();
-    finish(out, model, start);
-    return out;
+    // Pin every artificial to zero so it can never re-enter; basic
+    // artificials at value 0 stay put (their rows are redundant).
+    for (int j = n_structural_ + m_; j < num_vars(); ++j) up_[j] = 0.0;
   }
+  set_phase_costs(/*phase1=*/false);
+  out.status = iterate_primal();
+  finish(out, model, start);
+  return out;
+}
 
- private:
-  // ---- model construction -------------------------------------------------
+// ---- warm-start feasibility restoration -------------------------------------
 
-  void build(const LpModel& model, const LpBasis* warm_start) {
-    const int nv = model.num_variables();
-    n_structural_ = nv;
-    row_sign_.assign(static_cast<std::size_t>(m_), 1.0);
-    rhs_.resize(static_cast<std::size_t>(m_));
-    for (int r = 0; r < m_; ++r) {
-      const auto type = model.row_type(r);
-      row_sign_[r] = type == RowType::kGreaterEqual ? -1.0 : 1.0;
-      rhs_[r] = row_sign_[r] * model.rhs(r);
-    }
-    cols_.reset(m_, model.num_nonzeros() + static_cast<std::size_t>(m_));
-    lo_.reserve(static_cast<std::size_t>(nv + m_));
-    up_.reserve(static_cast<std::size_t>(nv + m_));
-    cost_.reserve(static_cast<std::size_t>(nv + m_));
-    const double obj_sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
-    for (int j = 0; j < nv; ++j) {
-      cols_.begin_column();
-      lo_.push_back(model.lower(j));
-      up_.push_back(model.upper(j));
-      cost_.push_back(obj_sign * model.objective(j));
-      for (const auto& entry : model.column(j)) {
-        cols_.push(entry.row, row_sign_[static_cast<std::size_t>(entry.row)] * entry.value);
-      }
-    }
-    // Slack columns: one per row; equality rows get a fixed [0,0] slack.
-    for (int r = 0; r < m_; ++r) {
-      cols_.begin_column();
-      cols_.push(r, 1.0);
-      const bool eq = model.row_type(r) == RowType::kEqual;
-      lo_.push_back(0.0);
-      up_.push_back(eq ? 0.0 : kInfinity);
-      cost_.push_back(0.0);
-    }
-
-    needs_phase1_ = false;
-    if (warm_start != nullptr && !warm_start->empty() &&
-        warm_start->compatible(nv, m_) && try_warm_start(*warm_start)) {
-      warm_started_ = true;
-    } else {
-      crash_basis();
-    }
-    csr_.build_from(cols_);
-    work_cost_ = cost_;
-    work_cost_.resize(static_cast<std::size_t>(num_vars()), 0.0);
-    weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
-    d_.assign(static_cast<std::size_t>(num_vars()), 0.0);
-    if (warm_started_) {
-      // try_warm_start already factored lu_ and computed x_basic_; only the
-      // reduced costs remain (re-derived anyway at the phase switch).
-      recompute_reduced_costs();
-    } else {
-      refactorize();
-    }
-  }
-
-  /// Attempts to adopt a previous basis: factorizable and primal feasible
-  /// (phase 1 can be skipped outright). Returns false — leaving no trace —
-  /// when the basis is structurally broken, singular, or infeasible.
-  bool try_warm_start(const LpBasis& warm) {
-    std::vector<VarState> state(static_cast<std::size_t>(num_vars()));
-    std::vector<int> basic;
-    basic.reserve(static_cast<std::size_t>(m_));
-    for (int j = 0; j < num_vars(); ++j) {
-      const LpVarStatus st =
-          j < n_structural_ ? warm.variables[static_cast<std::size_t>(j)]
-                            : warm.rows[static_cast<std::size_t>(j - n_structural_)];
-      state[j] = static_cast<VarState>(st);
-      if (state[j] == VarState::kBasic) {
-        basic.push_back(j);
-      } else if (state[j] == VarState::kAtUpper && up_[j] >= kInfinity) {
-        state[j] = VarState::kAtLower;  // no finite upper bound to sit at
-      }
-    }
-    if (static_cast<int>(basic.size()) != m_) return false;
-    // Factor straight into the member LU: on success it is the live basis
-    // factorization (build() skips its refactorize), on failure the cold
-    // crash path refactorizes over it anyway.
-    try {
-      lu_.factor(cols_, basic);
-    } catch (const SolverError&) {
-      return false;
-    }
-    // x_N from the stored statuses, then x_B = B^-1 (b - A_N x_N).
-    std::vector<double> xn(static_cast<std::size_t>(num_vars()), 0.0);
-    std::vector<double> residual = rhs_;
-    for (int j = 0; j < num_vars(); ++j) {
-      if (state[j] == VarState::kBasic) continue;
-      xn[j] = state[j] == VarState::kAtUpper ? up_[j] : lo_[j];
-      if (xn[j] == 0.0) continue;
-      for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
-        residual[static_cast<std::size_t>(cols_.entry_row(k))] -=
-            cols_.entry_value(k) * xn[j];
-      }
-    }
-    lu_.ftran(residual, lu_scratch_);
-    const double tol = 16.0 * options_.feasibility_tol;
-    bool feasible = true;
-    for (int i = 0; i < m_; ++i) {
-      const int j = basic[static_cast<std::size_t>(i)];
-      if (residual[i] < lo_[j] - tol * std::max(1.0, std::abs(lo_[j])) ||
-          residual[i] > up_[j] + tol * std::max(1.0, std::abs(up_[j]))) {
-        feasible = false;
-        break;
-      }
-    }
-    // Adopt. A feasible start clamps round-off and skips phase 1 outright;
-    // an infeasible one (the model's rhs/bounds moved under the basis) is
-    // repaired by artificial-free restoration before phase 2.
-    state_ = std::move(state);
-    basic_ = std::move(basic);
-    x_nonbasic_value_ = std::move(xn);
-    x_basic_.resize(static_cast<std::size_t>(m_));
+/// Artificial-free composite phase 1 from an adopted warm basis: minimizes
+/// the total bound violation of the basic variables with single-breakpoint
+/// steps (an infeasible basic leaves the moment it reaches its violated
+/// bound). Returns true when primal feasibility is reached; false hands
+/// the solve back to the cold crash path. Restoration is how a basis from
+/// a perturbed instance (shrunk capacities, shifted rhs) stays useful: a
+/// few repair pivots instead of a from-scratch phase 1. A degenerate-pivot
+/// streak switches pricing to Bland's rule (lowest eligible index) to break
+/// the cycle instead of abandoning the warm basis outright.
+bool SimplexCore::restore_feasibility() {
+  const double ftol = 16.0 * options_.feasibility_tol;
+  std::vector<double> y(static_cast<std::size_t>(m_));
+  std::vector<double> alpha(static_cast<std::size_t>(m_));
+  const long long budget = 2000 + 2LL * m_;
+  int degenerate_streak = 0;
+  bool bland = false;
+  for (long long pivots = 0; pivots < budget; ++pivots) {
+    // Infeasibility costs from the current basic values.
+    int violations = 0;
     for (int i = 0; i < m_; ++i) {
       const int j = basic_[static_cast<std::size_t>(i)];
-      x_basic_[i] = feasible ? std::clamp(residual[i], lo_[j], up_[j])
-                             : residual[i];
-    }
-    needs_restoration_ = !feasible;
-    return true;
-  }
-
-  /// Cold start: every nonbasic at its lower bound; slack basis where the
-  /// slack can absorb the residual, artificials (-> phase 1) elsewhere.
-  void crash_basis() {
-    state_.assign(static_cast<std::size_t>(num_vars()), VarState::kAtLower);
-    x_nonbasic_value_.assign(static_cast<std::size_t>(num_vars()), 0.0);
-    for (int j = 0; j < num_vars(); ++j) x_nonbasic_value_[j] = lo_[j];
-    std::vector<double> residual = rhs_;
-    for (int j = 0; j < n_structural_; ++j) {
-      const double xj = x_nonbasic_value_[j];
-      if (xj == 0.0) continue;
-      for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
-        residual[static_cast<std::size_t>(cols_.entry_row(k))] -= cols_.entry_value(k) * xj;
-      }
-    }
-    basic_.resize(static_cast<std::size_t>(m_));
-    x_basic_.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int r = 0; r < m_; ++r) {
-      const int slack = n_structural_ + r;
-      if (up_[slack] > 0.0 && residual[r] >= 0.0) {
-        basic_[r] = slack;
-        x_basic_[r] = residual[r];
-        state_[slack] = VarState::kBasic;
+      if (x_basic_[i] < lo_[j] - ftol) {
+        y[i] = -1.0;
+        ++violations;
+      } else if (x_basic_[i] > up_[j] + ftol) {
+        y[i] = +1.0;
+        ++violations;
       } else {
-        // Artificial with coefficient matching the residual sign so its
-        // basic value is non-negative.
-        const int j = cols_.begin_column();
-        cols_.push(r, residual[r] < 0.0 ? -1.0 : 1.0);
-        lo_.push_back(0.0);
-        up_.push_back(kInfinity);
-        cost_.push_back(0.0);
-        state_.push_back(VarState::kBasic);
-        x_nonbasic_value_.push_back(0.0);
-        basic_[r] = j;
-        x_basic_[r] = std::abs(residual[r]);
-        needs_phase1_ = true;
+        y[i] = 0.0;
       }
     }
-  }
-
-  [[nodiscard]] int num_vars() const { return cols_.num_cols(); }
-
-  void set_phase_costs(bool phase1) {
-    if (phase1) {
-      work_cost_.assign(static_cast<std::size_t>(num_vars()), 0.0);
-      for (int j = n_structural_ + m_; j < num_vars(); ++j) work_cost_[j] = 1.0;
-    } else {
-      work_cost_ = cost_;
-      work_cost_.resize(static_cast<std::size_t>(num_vars()), 0.0);
-    }
-    weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
-    recompute_reduced_costs();
-  }
-
-  [[nodiscard]] double phase_objective() const {
-    double obj = 0.0;
-    for (int r = 0; r < m_; ++r) {
-      obj += work_cost_[static_cast<std::size_t>(basic_[r])] * x_basic_[r];
-    }
-    for (int j = 0; j < num_vars(); ++j) {
-      if (state_[j] != VarState::kBasic && work_cost_[j] != 0.0) {
-        obj += work_cost_[j] * x_nonbasic_value_[j];
+    if (violations == 0) {
+      for (int i = 0; i < m_; ++i) {
+        const int j = basic_[static_cast<std::size_t>(i)];
+        x_basic_[i] = std::clamp(x_basic_[i], lo_[j], up_[j]);
       }
-    }
-    return obj;
-  }
-
-  // ---- linear algebra -----------------------------------------------------
-
-  /// x <- B^-1 x. Input indexed by row; output indexed by basis position.
-  void ftran_full(std::vector<double>& x) {
-    lu_.ftran(x, lu_scratch_);
-    for (std::size_t e = 0; e < eta_row_.size(); ++e) {
-      double& xr = x[static_cast<std::size_t>(eta_row_[e])];
-      if (xr == 0.0) continue;
-      xr /= eta_pivot_[e];
-      for (int k = eta_ptr_[e]; k < eta_ptr_[e + 1]; ++k) {
-        x[static_cast<std::size_t>(eta_pos_[k])] -= eta_val_[k] * xr;
-      }
-    }
-  }
-
-  /// y <- B^-T y. Input indexed by basis position; output indexed by row.
-  void btran_full(std::vector<double>& y) {
-    for (std::size_t e = eta_row_.size(); e-- > 0;) {
-      double t = y[static_cast<std::size_t>(eta_row_[e])];
-      for (int k = eta_ptr_[e]; k < eta_ptr_[e + 1]; ++k) {
-        t -= eta_val_[k] * y[static_cast<std::size_t>(eta_pos_[k])];
-      }
-      y[static_cast<std::size_t>(eta_row_[e])] = t / eta_pivot_[e];
-    }
-    lu_.btran(y, lu_scratch_);
-  }
-
-  void append_eta(int row, const std::vector<double>& alpha) {
-    eta_row_.push_back(row);
-    eta_pivot_.push_back(alpha[static_cast<std::size_t>(row)]);
-    for (int i = 0; i < m_; ++i) {
-      if (i == row) continue;
-      const double v = alpha[static_cast<std::size_t>(i)];
-      if (std::abs(v) > 1e-12) {
-        eta_pos_.push_back(i);
-        eta_val_.push_back(v);
-      }
-    }
-    eta_ptr_.push_back(static_cast<int>(eta_pos_.size()));
-  }
-
-  void clear_etas() {
-    eta_row_.clear();
-    eta_pivot_.clear();
-    eta_pos_.clear();
-    eta_val_.clear();
-    eta_ptr_.assign(1, 0);
-  }
-
-  /// Fresh LU of the current basis; resets the eta file and recomputes the
-  /// basic values and reduced costs (bounding numerical drift).
-  void refactorize() {
-    lu_.factor(cols_, basic_);
-    clear_etas();
-    // x_B = B^-1 (b - A_N x_N).
-    std::vector<double> residual = rhs_;
-    for (int j = 0; j < num_vars(); ++j) {
-      if (state_[j] == VarState::kBasic) continue;
-      const double xj = x_nonbasic_value_[j];
-      if (xj == 0.0) continue;
-      for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
-        residual[static_cast<std::size_t>(cols_.entry_row(k))] -= cols_.entry_value(k) * xj;
-      }
-    }
-    lu_.ftran(residual, lu_scratch_);
-    x_basic_ = std::move(residual);
-    recompute_reduced_costs();
-  }
-
-  /// d_j = c_j - y' A_j for every nonbasic j, with y = B^-T c_B.
-  void recompute_reduced_costs() {
-    std::vector<double> y(static_cast<std::size_t>(m_));
-    for (int i = 0; i < m_; ++i) {
-      y[i] = work_cost_[static_cast<std::size_t>(basic_[i])];
+      return true;
     }
     btran_full(y);
+    // Price on the restoration reduced costs -y'A_j (nonbasic costs are 0).
+    // Under Bland's rule the lowest-index improving column wins regardless
+    // of magnitude, which cannot cycle.
+    int entering = -1;
+    int direction = +1;
+    double best = options_.optimality_tol;
     for (int j = 0; j < num_vars(); ++j) {
-      if (state_[j] == VarState::kBasic) {
-        d_[j] = 0.0;
-        continue;
-      }
-      double dj = work_cost_[j];
+      if (state_[j] == VarState::kBasic) continue;
+      if (fixed(j)) continue;
+      double dj = 0.0;
       for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
         dj -= y[static_cast<std::size_t>(cols_.entry_row(k))] * cols_.entry_value(k);
       }
-      d_[j] = dj;
+      if (state_[j] == VarState::kAtLower && dj < -best) {
+        best = bland ? best : -dj;
+        entering = j;
+        direction = +1;
+      } else if (state_[j] == VarState::kAtUpper && dj > best) {
+        best = bland ? best : dj;
+        entering = j;
+        direction = -1;
+      }
+      if (bland && entering >= 0) break;
     }
-  }
+    if (entering < 0) return false;  // locally stuck: cold restart decides
 
-  // ---- warm-start feasibility restoration ---------------------------------
+    compute_column(entering, alpha);
 
-  /// Artificial-free composite phase 1 from an adopted warm basis: minimizes
-  /// the total bound violation of the basic variables with single-breakpoint
-  /// steps (an infeasible basic leaves the moment it reaches its violated
-  /// bound). Returns true when primal feasibility is reached; false hands
-  /// the solve back to the cold crash path. Restoration is how a basis from
-  /// a perturbed instance (shrunk capacities, shifted rhs) stays useful: a
-  /// few repair pivots instead of a from-scratch phase 1.
-  bool restore_feasibility() {
-    const double ftol = 16.0 * options_.feasibility_tol;
-    std::vector<double> y(static_cast<std::size_t>(m_));
-    std::vector<double> alpha(static_cast<std::size_t>(m_));
-    const long long budget = 2000 + 2LL * m_;
-    int degenerate_streak = 0;
-    for (long long pivots = 0; pivots < budget; ++pivots) {
-      // Infeasibility costs from the current basic values.
-      int violations = 0;
-      for (int i = 0; i < m_; ++i) {
-        const int j = basic_[static_cast<std::size_t>(i)];
-        if (x_basic_[i] < lo_[j] - ftol) {
-          y[i] = -1.0;
-          ++violations;
-        } else if (x_basic_[i] > up_[j] + ftol) {
-          y[i] = +1.0;
-          ++violations;
-        } else {
-          y[i] = 0.0;
-        }
-      }
-      if (violations == 0) {
-        for (int i = 0; i < m_; ++i) {
-          const int j = basic_[static_cast<std::size_t>(i)];
-          x_basic_[i] = std::clamp(x_basic_[i], lo_[j], up_[j]);
-        }
-        return true;
-      }
-      btran_full(y);
-      // Price on the restoration reduced costs -y'A_j (nonbasic costs are 0).
-      int entering = -1;
-      int direction = +1;
-      double best = options_.optimality_tol;
-      for (int j = 0; j < num_vars(); ++j) {
-        if (state_[j] == VarState::kBasic) continue;
-        if (up_[j] - lo_[j] < 1e-30) continue;
-        double dj = 0.0;
-        for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
-          dj -= y[static_cast<std::size_t>(cols_.entry_row(k))] * cols_.entry_value(k);
-        }
-        if (state_[j] == VarState::kAtLower && dj < -best) {
-          best = -dj;
-          entering = j;
-          direction = +1;
-        } else if (state_[j] == VarState::kAtUpper && dj > best) {
-          best = dj;
-          entering = j;
-          direction = -1;
-        }
-      }
-      if (entering < 0) return false;  // locally stuck: cold restart decides
-
-      std::fill(alpha.begin(), alpha.end(), 0.0);
-      for (int k = cols_.col_begin(entering); k < cols_.col_end(entering); ++k) {
-        alpha[static_cast<std::size_t>(cols_.entry_row(k))] += cols_.entry_value(k);
-      }
-      ftran_full(alpha);
-
-      // First-breakpoint ratio test. Feasible basics must stay in bounds;
-      // infeasible basics block only at the violated bound they are moving
-      // toward (where they pivot out feasible).
-      const double dir = static_cast<double>(direction);
-      double limit = up_[static_cast<std::size_t>(entering)] -
-                     lo_[static_cast<std::size_t>(entering)];
-      int leaving_row = -1;
-      bool leaving_to_upper = false;
-      for (int i = 0; i < m_; ++i) {
-        const double wi = dir * alpha[i];
-        if (std::abs(wi) <= options_.pivot_tol) continue;
-        const int bj = basic_[static_cast<std::size_t>(i)];
-        const double xi = x_basic_[i];
-        double t = -1.0;
-        bool to_upper = false;
-        if (xi < lo_[bj] - ftol) {
-          if (wi < 0.0) {  // moving up toward its violated lower bound
-            t = (lo_[bj] - xi) / (-wi);
-            to_upper = false;
-          }
-        } else if (xi > up_[bj] + ftol) {
-          if (wi > 0.0) {  // moving down toward its violated upper bound
-            t = (xi - up_[bj]) / wi;
-            to_upper = true;
-          }
-        } else if (wi > 0.0) {
-          // Feasible basics may sit a hair outside a bound (within ftol);
-          // clamp so the step never goes negative.
-          t = std::max((xi - lo_[bj]) / wi, 0.0);
+    // First-breakpoint ratio test. Feasible basics must stay in bounds;
+    // infeasible basics block only at the violated bound they are moving
+    // toward (where they pivot out feasible).
+    const double dir = static_cast<double>(direction);
+    double limit = up_[static_cast<std::size_t>(entering)] -
+                   lo_[static_cast<std::size_t>(entering)];
+    int leaving_row = -1;
+    bool leaving_to_upper = false;
+    for (int i = 0; i < m_; ++i) {
+      const double wi = dir * alpha[i];
+      if (std::abs(wi) <= options_.pivot_tol) continue;
+      const int bj = basic_[static_cast<std::size_t>(i)];
+      const double xi = x_basic_[i];
+      double t = -1.0;
+      bool to_upper = false;
+      if (xi < lo_[bj] - ftol) {
+        if (wi < 0.0) {  // moving up toward its violated lower bound
+          t = (lo_[bj] - xi) / (-wi);
           to_upper = false;
-        } else if (up_[bj] < kInfinity) {
-          t = std::max((up_[bj] - xi) / (-wi), 0.0);
+        }
+      } else if (xi > up_[bj] + ftol) {
+        if (wi > 0.0) {  // moving down toward its violated upper bound
+          t = (xi - up_[bj]) / wi;
           to_upper = true;
         }
-        if (t >= 0.0 && t < limit) {
+      } else if (wi > 0.0) {
+        // Feasible basics may sit a hair outside a bound (within ftol);
+        // clamp so the step never goes negative.
+        t = std::max((xi - lo_[bj]) / wi, 0.0);
+        to_upper = false;
+      } else if (up_[bj] < kInfinity) {
+        t = std::max((up_[bj] - xi) / (-wi), 0.0);
+        to_upper = true;
+      }
+      if (t >= 0.0 && t < limit) {
+        limit = std::max(t, 0.0);
+        leaving_row = i;
+        leaving_to_upper = to_upper;
+      }
+    }
+    if (!std::isfinite(limit)) return false;
+    if (limit <= options_.drop_tol) {
+      // A degenerate streak used to abort restoration here (surfacing as a
+      // spurious solve failure); switching to Bland's rule breaks the cycle
+      // and lets the repair finish. The pivot budget remains the backstop.
+      if (++degenerate_streak > options_.degenerate_streak_limit) bland = true;
+    } else {
+      degenerate_streak = 0;
+      bland = false;
+    }
+
+    ++iterations_;
+    for (int i = 0; i < m_; ++i) x_basic_[i] -= limit * dir * alpha[i];
+    if (leaving_row < 0) {
+      state_[static_cast<std::size_t>(entering)] =
+          direction > 0 ? VarState::kAtUpper : VarState::kAtLower;
+      x_nonbasic_value_[static_cast<std::size_t>(entering)] =
+          direction > 0 ? up_[static_cast<std::size_t>(entering)]
+                        : lo_[static_cast<std::size_t>(entering)];
+      continue;
+    }
+    const double alpha_r = alpha[static_cast<std::size_t>(leaving_row)];
+    if (std::abs(alpha_r) < options_.pivot_tol) return false;
+    const int leaving = basic_[static_cast<std::size_t>(leaving_row)];
+    state_[static_cast<std::size_t>(leaving)] =
+        leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
+    x_nonbasic_value_[static_cast<std::size_t>(leaving)] =
+        leaving_to_upper ? up_[static_cast<std::size_t>(leaving)]
+                         : lo_[static_cast<std::size_t>(leaving)];
+    const double enter_value =
+        (direction > 0 ? lo_[static_cast<std::size_t>(entering)]
+                       : up_[static_cast<std::size_t>(entering)]) +
+        dir * limit;
+    basic_[static_cast<std::size_t>(leaving_row)] = entering;
+    state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
+    x_basic_[static_cast<std::size_t>(leaving_row)] = enter_value;
+    append_eta(leaving_row, alpha);
+    if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
+        std::abs(alpha_r) < options_.refactor_pivot_tol) {
+      refactorize();
+    }
+  }
+  return false;
+}
+
+// ---- main loop --------------------------------------------------------------
+
+LpStatus SimplexCore::iterate_primal() {
+  std::vector<double> alpha(static_cast<std::size_t>(m_));
+  std::vector<double> rho(static_cast<std::size_t>(m_));
+  std::vector<double> accum(static_cast<std::size_t>(num_vars()), 0.0);
+  std::vector<int> touched;
+  touched.reserve(256);
+  int stall = 0;
+  int stale = 0;
+  bool bland = false;
+  bool freshly_priced = false;
+  while (iterations_ < options_.max_iterations) {
+    // ---- pricing: Devex on maintained reduced costs -------------------
+    if (bland) recompute_reduced_costs();
+    int entering = -1;
+    int direction = +1;
+    double best_score = 0.0;
+    for (int j = 0; j < num_vars(); ++j) {
+      const VarState st = state_[j];
+      if (st == VarState::kBasic) continue;
+      if (fixed(j)) continue;
+      const double dj = d_[j];
+      const double viol = st == VarState::kAtLower ? -dj : dj;
+      if (viol <= options_.optimality_tol) continue;
+      if (bland) {  // lowest index wins — guarantees termination
+        entering = j;
+        direction = st == VarState::kAtLower ? +1 : -1;
+        break;
+      }
+      const double score = viol * viol / weight_[j];
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        direction = st == VarState::kAtLower ? +1 : -1;
+      }
+    }
+    if (entering < 0) {
+      // Maintained reduced costs can drift; confirm optimality on a fresh
+      // recompute before declaring victory.
+      if (freshly_priced) return LpStatus::kOptimal;
+      recompute_reduced_costs();
+      freshly_priced = true;
+      continue;
+    }
+
+    // ---- FTRAN + exact reduced cost of the candidate ------------------
+    compute_column(entering, alpha);
+    double d_exact = work_cost_[static_cast<std::size_t>(entering)];
+    for (int i = 0; i < m_; ++i) {
+      const double cb = work_cost_[static_cast<std::size_t>(basic_[i])];
+      if (cb != 0.0) d_exact -= cb * alpha[i];
+    }
+    const double viol_exact = direction > 0 ? -d_exact : d_exact;
+    if (viol_exact <= options_.optimality_tol * 0.5) {
+      // Stale candidate: correct it and re-price. Counts against the
+      // iteration budget — under severe ill-conditioning the maintained
+      // and exact reduced costs can keep disagreeing, and this loop must
+      // terminate via kIterationLimit rather than hang. Refactorizing
+      // removes the eta-file drift that causes the disagreement.
+      ++iterations_;
+      d_[static_cast<std::size_t>(entering)] = d_exact;
+      if (++stale > 2) {
+        refactorize();
+        stale = 0;
+      }
+      continue;
+    }
+    stale = 0;
+    freshly_priced = false;
+
+    // ---- ratio test with bound flips ----------------------------------
+    // Ties (within drop_tol) break toward the larger pivot magnitude for
+    // stability, then toward the lower basic-variable index so degenerate
+    // optima resolve to the same vertex run after run.
+    const double dir = static_cast<double>(direction);
+    double limit = up_[static_cast<std::size_t>(entering)] -
+                   lo_[static_cast<std::size_t>(entering)];
+    int leaving_row = -1;
+    bool leaving_to_upper = false;
+    const auto prefer = [&](double t, double wi, int i) {
+      if (t < limit - options_.drop_tol) return true;
+      if (t >= limit + options_.drop_tol || leaving_row < 0) return false;
+      const double w_cur =
+          std::abs(dir * alpha[static_cast<std::size_t>(leaving_row)]);
+      const double w_new = std::abs(wi);
+      if (w_new > w_cur + options_.drop_tol) return true;
+      if (w_new < w_cur - options_.drop_tol) return false;
+      return basic_[static_cast<std::size_t>(i)] <
+             basic_[static_cast<std::size_t>(leaving_row)];
+    };
+    for (int i = 0; i < m_; ++i) {
+      const double wi = dir * alpha[i];
+      const int bj = basic_[i];
+      if (wi > options_.pivot_tol) {
+        const double t = (x_basic_[i] - lo_[static_cast<std::size_t>(bj)]) / wi;
+        if (prefer(t, wi, i)) {
           limit = std::max(t, 0.0);
           leaving_row = i;
-          leaving_to_upper = to_upper;
+          leaving_to_upper = false;
+        }
+      } else if (wi < -options_.pivot_tol && up_[static_cast<std::size_t>(bj)] < kInfinity) {
+        const double t = (up_[static_cast<std::size_t>(bj)] - x_basic_[i]) / (-wi);
+        if (prefer(t, wi, i)) {
+          limit = std::max(t, 0.0);
+          leaving_row = i;
+          leaving_to_upper = true;
         }
       }
-      if (!std::isfinite(limit)) return false;
-      if (limit <= 1e-12 && ++degenerate_streak > 64) return false;
-      if (limit > 1e-12) degenerate_streak = 0;
+    }
+    if (!std::isfinite(limit)) return LpStatus::kUnbounded;
 
-      ++iterations_;
-      for (int i = 0; i < m_; ++i) x_basic_[i] -= limit * dir * alpha[i];
-      if (leaving_row < 0) {
-        state_[static_cast<std::size_t>(entering)] =
-            direction > 0 ? VarState::kAtUpper : VarState::kAtLower;
-        x_nonbasic_value_[static_cast<std::size_t>(entering)] =
-            direction > 0 ? up_[static_cast<std::size_t>(entering)]
-                          : lo_[static_cast<std::size_t>(entering)];
-        continue;
-      }
+    ++iterations_;
+    for (int i = 0; i < m_; ++i) x_basic_[i] -= limit * dir * alpha[i];
+
+    if (leaving_row < 0) {
+      // Pure bound flip: basis (and reduced costs) unchanged.
+      state_[static_cast<std::size_t>(entering)] =
+          direction > 0 ? VarState::kAtUpper : VarState::kAtLower;
+      x_nonbasic_value_[static_cast<std::size_t>(entering)] =
+          direction > 0 ? up_[static_cast<std::size_t>(entering)]
+                        : lo_[static_cast<std::size_t>(entering)];
+    } else {
       const double alpha_r = alpha[static_cast<std::size_t>(leaving_row)];
-      if (std::abs(alpha_r) < options_.pivot_tol) return false;
+      // Pivot row rho' A through the CSR mirror: the only rows that touch
+      // a column are those where rho is nonzero.
+      compute_pivot_row(leaving_row, rho, accum, touched);
+      // Incremental reduced-cost and Devex weight maintenance.
+      const double theta_d = d_exact / alpha_r;
+      const double w_q = weight_[static_cast<std::size_t>(entering)];
+      bool weights_blown = false;
+      for (const int j : touched) {
+        const double arj = accum[static_cast<std::size_t>(j)];
+        accum[static_cast<std::size_t>(j)] = 0.0;
+        if (j == entering || state_[static_cast<std::size_t>(j)] == VarState::kBasic) {
+          continue;
+        }
+        if (fixed(j)) continue;
+        d_[static_cast<std::size_t>(j)] -= theta_d * arj;
+        const double ratio = arj / alpha_r;
+        const double candidate = ratio * ratio * w_q;
+        if (candidate > weight_[static_cast<std::size_t>(j)]) {
+          weight_[static_cast<std::size_t>(j)] = candidate;
+          if (candidate > 1e12) weights_blown = true;
+        }
+      }
       const int leaving = basic_[static_cast<std::size_t>(leaving_row)];
       state_[static_cast<std::size_t>(leaving)] =
           leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
       x_nonbasic_value_[static_cast<std::size_t>(leaving)] =
           leaving_to_upper ? up_[static_cast<std::size_t>(leaving)]
                            : lo_[static_cast<std::size_t>(leaving)];
+      d_[static_cast<std::size_t>(leaving)] = -theta_d;
+      weight_[static_cast<std::size_t>(leaving)] =
+          std::max(w_q / (alpha_r * alpha_r), 1.0);
       const double enter_value =
           (direction > 0 ? lo_[static_cast<std::size_t>(entering)]
                          : up_[static_cast<std::size_t>(entering)]) +
           dir * limit;
       basic_[static_cast<std::size_t>(leaving_row)] = entering;
       state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
+      d_[static_cast<std::size_t>(entering)] = 0.0;
       x_basic_[static_cast<std::size_t>(leaving_row)] = enter_value;
+      if (weights_blown) {
+        weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
+      }
       append_eta(leaving_row, alpha);
       if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
-          std::abs(alpha_r) < 1e-8) {
+          std::abs(alpha_r) < options_.refactor_pivot_tol) {
         refactorize();
       }
     }
-    return false;
+    // Degeneracy bookkeeping: a positive step length strictly improves the
+    // objective (the entering reduced cost is bounded away from zero).
+    if (limit > 1e-10) {
+      stall = 0;
+      bland = false;
+    } else if (++stall > options_.stall_limit) {
+      bland = true;
+    }
   }
+  return LpStatus::kIterationLimit;
+}
 
-  // ---- main loop ----------------------------------------------------------
-
-  LpStatus iterate() {
-    std::vector<double> alpha(static_cast<std::size_t>(m_));
-    std::vector<double> rho(static_cast<std::size_t>(m_));
-    std::vector<double> accum(static_cast<std::size_t>(num_vars()), 0.0);
-    std::vector<int> touched;
-    touched.reserve(256);
-    int stall = 0;
-    int stale = 0;
-    bool bland = false;
-    bool freshly_priced = false;
-    while (iterations_ < options_.max_iterations) {
-      // ---- pricing: Devex on maintained reduced costs -------------------
-      if (bland) recompute_reduced_costs();
-      int entering = -1;
-      int direction = +1;
-      double best_score = 0.0;
-      for (int j = 0; j < num_vars(); ++j) {
-        const VarState st = state_[j];
-        if (st == VarState::kBasic) continue;
-        if (up_[j] - lo_[j] < 1e-30) continue;  // fixed variable
-        const double dj = d_[j];
-        const double viol = st == VarState::kAtLower ? -dj : dj;
-        if (viol <= options_.optimality_tol) continue;
-        if (bland) {  // lowest index wins — guarantees termination
-          entering = j;
-          direction = st == VarState::kAtLower ? +1 : -1;
-          break;
-        }
-        const double score = viol * viol / weight_[j];
-        if (score > best_score) {
-          best_score = score;
-          entering = j;
-          direction = st == VarState::kAtLower ? +1 : -1;
-        }
-      }
-      if (entering < 0) {
-        // Maintained reduced costs can drift; confirm optimality on a fresh
-        // recompute before declaring victory.
-        if (freshly_priced) return LpStatus::kOptimal;
-        recompute_reduced_costs();
-        freshly_priced = true;
-        continue;
-      }
-
-      // ---- FTRAN + exact reduced cost of the candidate ------------------
-      std::fill(alpha.begin(), alpha.end(), 0.0);
-      for (int k = cols_.col_begin(entering); k < cols_.col_end(entering); ++k) {
-        alpha[static_cast<std::size_t>(cols_.entry_row(k))] += cols_.entry_value(k);
-      }
-      ftran_full(alpha);
-      double d_exact = work_cost_[static_cast<std::size_t>(entering)];
-      for (int i = 0; i < m_; ++i) {
-        const double cb = work_cost_[static_cast<std::size_t>(basic_[i])];
-        if (cb != 0.0) d_exact -= cb * alpha[i];
-      }
-      const double viol_exact = direction > 0 ? -d_exact : d_exact;
-      if (viol_exact <= options_.optimality_tol * 0.5) {
-        // Stale candidate: correct it and re-price. Counts against the
-        // iteration budget — under severe ill-conditioning the maintained
-        // and exact reduced costs can keep disagreeing, and this loop must
-        // terminate via kIterationLimit rather than hang. Refactorizing
-        // removes the eta-file drift that causes the disagreement.
-        ++iterations_;
-        d_[static_cast<std::size_t>(entering)] = d_exact;
-        if (++stale > 2) {
-          refactorize();
-          stale = 0;
-        }
-        continue;
-      }
-      stale = 0;
-      freshly_priced = false;
-
-      // ---- ratio test with bound flips ----------------------------------
-      const double dir = static_cast<double>(direction);
-      double limit = up_[static_cast<std::size_t>(entering)] -
-                     lo_[static_cast<std::size_t>(entering)];
-      int leaving_row = -1;
-      bool leaving_to_upper = false;
-      for (int i = 0; i < m_; ++i) {
-        const double wi = dir * alpha[i];
-        const int bj = basic_[i];
-        if (wi > options_.pivot_tol) {
-          const double t = (x_basic_[i] - lo_[static_cast<std::size_t>(bj)]) / wi;
-          if (t < limit - 1e-12 ||
-              (t < limit + 1e-12 && leaving_row >= 0 &&
-               std::abs(wi) > std::abs(dir * alpha[static_cast<std::size_t>(leaving_row)]))) {
-            limit = std::max(t, 0.0);
-            leaving_row = i;
-            leaving_to_upper = false;
-          }
-        } else if (wi < -options_.pivot_tol && up_[static_cast<std::size_t>(bj)] < kInfinity) {
-          const double t = (up_[static_cast<std::size_t>(bj)] - x_basic_[i]) / (-wi);
-          if (t < limit - 1e-12 ||
-              (t < limit + 1e-12 && leaving_row >= 0 &&
-               std::abs(wi) > std::abs(dir * alpha[static_cast<std::size_t>(leaving_row)]))) {
-            limit = std::max(t, 0.0);
-            leaving_row = i;
-            leaving_to_upper = true;
-          }
-        }
-      }
-      if (!std::isfinite(limit)) return LpStatus::kUnbounded;
-
-      ++iterations_;
-      for (int i = 0; i < m_; ++i) x_basic_[i] -= limit * dir * alpha[i];
-
-      if (leaving_row < 0) {
-        // Pure bound flip: basis (and reduced costs) unchanged.
-        state_[static_cast<std::size_t>(entering)] =
-            direction > 0 ? VarState::kAtUpper : VarState::kAtLower;
-        x_nonbasic_value_[static_cast<std::size_t>(entering)] =
-            direction > 0 ? up_[static_cast<std::size_t>(entering)]
-                          : lo_[static_cast<std::size_t>(entering)];
-      } else {
-        const double alpha_r = alpha[static_cast<std::size_t>(leaving_row)];
-        // Pivot row rho' A through the CSR mirror: the only rows that touch
-        // a column are those where rho is nonzero.
-        std::fill(rho.begin(), rho.end(), 0.0);
-        rho[static_cast<std::size_t>(leaving_row)] = 1.0;
-        btran_full(rho);
-        touched.clear();
-        for (int i = 0; i < m_; ++i) {
-          const double ri = rho[i];
-          if (std::abs(ri) < 1e-12) continue;
-          for (int k = csr_.row_begin(i); k < csr_.row_end(i); ++k) {
-            const int j = csr_.entry_col(k);
-            if (accum[static_cast<std::size_t>(j)] == 0.0) touched.push_back(j);
-            accum[static_cast<std::size_t>(j)] += ri * csr_.entry_value(k);
-          }
-        }
-        // Incremental reduced-cost and Devex weight maintenance.
-        const double theta_d = d_exact / alpha_r;
-        const double w_q = weight_[static_cast<std::size_t>(entering)];
-        bool weights_blown = false;
-        for (const int j : touched) {
-          const double arj = accum[static_cast<std::size_t>(j)];
-          accum[static_cast<std::size_t>(j)] = 0.0;
-          if (j == entering || state_[static_cast<std::size_t>(j)] == VarState::kBasic) {
-            continue;
-          }
-          if (up_[static_cast<std::size_t>(j)] - lo_[static_cast<std::size_t>(j)] < 1e-30) {
-            continue;
-          }
-          d_[static_cast<std::size_t>(j)] -= theta_d * arj;
-          const double ratio = arj / alpha_r;
-          const double candidate = ratio * ratio * w_q;
-          if (candidate > weight_[static_cast<std::size_t>(j)]) {
-            weight_[static_cast<std::size_t>(j)] = candidate;
-            if (candidate > 1e12) weights_blown = true;
-          }
-        }
-        const int leaving = basic_[static_cast<std::size_t>(leaving_row)];
-        state_[static_cast<std::size_t>(leaving)] =
-            leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
-        x_nonbasic_value_[static_cast<std::size_t>(leaving)] =
-            leaving_to_upper ? up_[static_cast<std::size_t>(leaving)]
-                             : lo_[static_cast<std::size_t>(leaving)];
-        d_[static_cast<std::size_t>(leaving)] = -theta_d;
-        weight_[static_cast<std::size_t>(leaving)] =
-            std::max(w_q / (alpha_r * alpha_r), 1.0);
-        const double enter_value =
-            (direction > 0 ? lo_[static_cast<std::size_t>(entering)]
-                           : up_[static_cast<std::size_t>(entering)]) +
-            dir * limit;
-        basic_[static_cast<std::size_t>(leaving_row)] = entering;
-        state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
-        d_[static_cast<std::size_t>(entering)] = 0.0;
-        x_basic_[static_cast<std::size_t>(leaving_row)] = enter_value;
-        if (weights_blown) {
-          weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
-        }
-        append_eta(leaving_row, alpha);
-        if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
-            std::abs(alpha_r) < 1e-8) {
-          refactorize();
-        }
-      }
-      // Degeneracy bookkeeping: a positive step length strictly improves the
-      // objective (the entering reduced cost is bounded away from zero).
-      if (limit > 1e-10) {
-        stall = 0;
-        bland = false;
-      } else if (++stall > options_.stall_limit) {
-        bland = true;
-      }
-    }
-    return LpStatus::kIterationLimit;
-  }
-
-  void finish(LpSolution& out, const LpModel& model,
-              std::chrono::steady_clock::time_point start) {
-    out.iterations = iterations_;
-    out.values.assign(static_cast<std::size_t>(n_structural_), 0.0);
-    for (int j = 0; j < n_structural_; ++j) {
-      out.values[j] = x_nonbasic_value_[j];
-    }
-    for (int r = 0; r < m_; ++r) {
-      const int j = basic_[static_cast<std::size_t>(r)];
-      if (j < n_structural_) out.values[j] = x_basic_[static_cast<std::size_t>(r)];
-    }
-    double obj = 0.0;
-    for (int j = 0; j < n_structural_; ++j) {
-      obj += model.objective(j) * out.values[j];
-    }
-    out.objective = obj;
-    // Export the basis for warm starts. An artificial still basic (at zero,
-    // on a redundant row) is represented by marking that row basic; the
-    // re-import repair path handles the rare degenerate cases.
-    out.basis.variables.resize(static_cast<std::size_t>(n_structural_));
-    for (int j = 0; j < n_structural_; ++j) {
-      out.basis.variables[j] = static_cast<LpVarStatus>(state_[j]);
-    }
-    out.basis.rows.resize(static_cast<std::size_t>(m_));
-    for (int r = 0; r < m_; ++r) {
-      out.basis.rows[r] = static_cast<LpVarStatus>(state_[n_structural_ + r]);
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (basic_[static_cast<std::size_t>(r)] >= n_structural_ + m_) {
-        out.basis.rows[r] = LpVarStatus::kBasic;
-      }
-    }
-    out.solve_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-  }
-
-  const SimplexOptions options_;
-  const int m_;
-  int n_structural_ = 0;
-  bool needs_phase1_ = false;
-  bool needs_restoration_ = false;
-  bool warm_started_ = false;
-  bool warm_failed_ = false;
-  long long iterations_ = 0;
-
-  CscMatrix cols_;  ///< structural, slack, then artificial columns.
-  CsrMatrix csr_;
-  std::vector<double> lo_, up_, cost_, work_cost_;
-  std::vector<double> rhs_, row_sign_;
-
-  std::vector<int> basic_;               ///< basis variable per row.
-  std::vector<double> x_basic_;
-  std::vector<VarState> state_;
-  std::vector<double> x_nonbasic_value_;
-
-  SparseLu lu_;
-  std::vector<double> lu_scratch_;
-  // Product-form eta file (flat arrays): eta e replaces basis position
-  // eta_row_[e] with the FTRAN'd entering column.
-  std::vector<int> eta_row_;
-  std::vector<double> eta_pivot_;
-  std::vector<int> eta_ptr_{0};
-  std::vector<int> eta_pos_;
-  std::vector<double> eta_val_;
-
-  std::vector<double> d_;       ///< maintained reduced costs (nonbasic).
-  std::vector<double> weight_;  ///< Devex reference weights.
-};
-
-}  // namespace
+}  // namespace lp_detail
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
-                    const LpBasis* warm_start) {
+                    const LpBasis* warm_start, LpWarmMode warm_mode) {
   A2A_REQUIRE(model.num_rows() > 0, "LP with no constraints");
   A2A_REQUIRE(model.num_variables() > 0, "LP with no variables");
   if (warm_start != nullptr) {
-    SparseSimplex solver(model, options, warm_start);
-    LpSolution out = solver.run(model);
-    if (!solver.warm_failed()) return out;
-    // The warm basis resisted repair; a cold solve is the reliable path.
+    lp_detail::SimplexCore solver(model, options, warm_start);
+    if (!solver.warm_started()) {
+      // The basis was rejected (wrong shape or singular): the solver is
+      // already sitting on the cold crash basis, so run it rather than
+      // rebuilding an identical instance below.
+      return solver.run_primal(model);
+    }
+    {
+      // A primal-feasible basis skips phase 1 outright — nothing for the
+      // dual to improve on, so kAuto only reaches for the dual when the
+      // basic values moved out of bounds (the perturbed re-solve case).
+      const bool want_dual =
+          warm_mode == LpWarmMode::kDual ||
+          (warm_mode == LpWarmMode::kAuto && solver.needs_restoration());
+      if (want_dual && solver.dual_feasible()) {
+        LpSolution out = solver.run_dual(model);
+        if (out.status == LpStatus::kOptimal ||
+            out.status == LpStatus::kUnbounded) {
+          return out;
+        }
+        // The dual stalled (numerical drift or a genuinely infeasible
+        // instance it cannot certify); the cold primal is authoritative.
+      } else {
+        LpSolution out = solver.run_primal(model);
+        if (!solver.warm_failed()) return out;
+        // The warm basis resisted repair; a cold solve is the reliable path.
+      }
+    }
   }
-  SparseSimplex solver(model, options, nullptr);
-  return solver.run(model);
+  lp_detail::SimplexCore solver(model, options, nullptr);
+  return solver.run_primal(model);
 }
 
 LpSolution solve_lp_warm(const LpModel& model, const SimplexOptions& options,
-                         LpBasis* warm) {
+                         LpBasis* warm, LpWarmMode warm_mode) {
   const LpBasis* seed = warm != nullptr && !warm->empty() ? warm : nullptr;
-  LpSolution sol = solve_lp(model, options, seed);
+  LpSolution sol = solve_lp(model, options, seed, warm_mode);
   if (warm != nullptr && sol.optimal()) *warm = sol.basis;
   return sol;
 }

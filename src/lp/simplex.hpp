@@ -6,7 +6,12 @@
 //     storage, sparse-LU basis factors kept alive with a product-form eta
 //     file (FTRAN/BTRAN are sparse triangular solves, no dense inverse),
 //     Devex pricing with incrementally maintained reduced costs, a
-//     bound-flip ratio test, and optional warm starts from a prior basis;
+//     bound-flip ratio test, and optional warm starts from a prior basis.
+//     Warm starts choose between the primal simplex (with in-place
+//     feasibility restoration) and a bounded-variable DUAL simplex that
+//     iterates directly on a still-dual-feasible basis — the natural engine
+//     for re-solves whose rhs/bounds moved under an optimal basis (Fig. 9
+//     disabled-link sweeps, schedule-cache revalidation, child LPs);
 //   * solve_lp_dense() — the original dense-inverse Dantzig solver, kept as
 //     the cross-check reference and the "before" side of bench_lp.
 #pragma once
@@ -67,24 +72,63 @@ struct SimplexOptions {
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-9;
   int stall_limit = 8000;          ///< non-improving pivots before Bland.
+  /// Phase-1 objective above this at phase-1 optimality means infeasible.
+  double phase1_tol = 1e-6;
+  /// Magnitudes below this are treated as exact zeros: entries dropped from
+  /// eta vectors, pivot-row scan cutoffs, and the degenerate-step threshold.
+  /// Shared by the primal and dual ratio tests.
+  double drop_tol = 1e-12;
+  /// A pivot magnitude below this forces an immediate refactorization after
+  /// the pivot is applied (the eta vector it would leave behind is too
+  /// ill-conditioned to keep).
+  double refactor_pivot_tol = 1e-8;
+  /// Degenerate (zero-step) pivots in a row before the restoration and dual
+  /// loops switch to Bland's rule to break the cycle.
+  int degenerate_streak_limit = 64;
+  /// Relative cost perturbation the dual simplex applies to nonbasic
+  /// columns (in their dual-feasible direction) before iterating, so that
+  /// totally dual-degenerate warm bases — the norm for max-concurrent-flow
+  /// optima — still make strict progress. Removed before the solution is
+  /// reported; the primal polishes the residue.
+  double dual_perturb = 1e-5;
 };
+
+/// How solve_lp() exploits a supplied warm-start basis.
+///
+///   kPrimal — adopt the basis when primal feasible (skipping phase 1); when
+///             the instance's rhs/bounds moved under it, repair primal
+///             feasibility in place (artificial-free restoration) and finish
+///             with the primal simplex.
+///   kDual   — adopt the basis when it is still DUAL feasible (reduced costs
+///             have the optimal signs — always true when only rhs/bounds
+///             changed since the basis was optimal) and run the dual simplex
+///             directly on it, with no phase-1/restoration work at all. Falls
+///             back to the primal path when the basis is dual infeasible.
+///   kAuto   — primal-feasible basis: primal phase 2 (nothing to repair);
+///             otherwise prefer the dual when the basis is dual feasible,
+///             else primal restoration. The right default for perturbed
+///             re-solves (Fig. 9 sweeps, cache revalidation, child LPs).
+enum class LpWarmMode { kPrimal, kDual, kAuto };
 
 /// Solves `model` with the sparse revised simplex; throws SolverError only on
 /// internal numerical failure (singular basis after refactorization).
 /// Infeasible/unbounded are reported via the status field. A non-null
 /// `warm_start` seeds the initial basis when it is compatible with the
-/// model's shape and primal feasible; otherwise the solver silently falls
-/// back to the cold crash basis.
+/// model's shape; `warm_mode` picks how it is exploited (see LpWarmMode).
+/// A structurally broken, singular, or unusable basis silently falls back to
+/// the cold crash path.
 [[nodiscard]] LpSolution solve_lp(const LpModel& model,
                                   const SimplexOptions& options = {},
-                                  const LpBasis* warm_start = nullptr);
+                                  const LpBasis* warm_start = nullptr,
+                                  LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Warm-start protocol shared by every MCF entry point: seeds from `*warm`
 /// when it is non-null and non-empty, and writes the final basis back on an
 /// optimal solve so the caller's next same-shaped LP restarts near-optimal.
 [[nodiscard]] LpSolution solve_lp_warm(const LpModel& model,
                                        const SimplexOptions& options,
-                                       LpBasis* warm);
+                                       LpBasis* warm,
+                                       LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Reference implementation: the original dense-inverse Dantzig simplex.
 /// Same statuses and objectives; no basis export and no warm starts.

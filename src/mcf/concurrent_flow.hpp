@@ -92,13 +92,15 @@ struct GroupedFlowSolution {
 /// near-optimal.
 [[nodiscard]] LinkFlowSolution solve_link_mcf_exact(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
+    LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Exact master LP (eqs. 6–9): grouped source-rooted commodities. Warm-start
 /// semantics as in solve_link_mcf_exact().
 [[nodiscard]] GroupedFlowSolution solve_master_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
+    LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Exact child LP (eqs. 10–14) for one source: splits the master's
 /// per-source aggregate flow into per-destination flows at rate F.
@@ -109,6 +111,7 @@ struct GroupedFlowSolution {
 [[nodiscard]] std::vector<std::vector<double>> solve_child_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
     const std::vector<double>& source_flow, double F,
-    const SimplexOptions& lp = {}, LpBasis* warm = nullptr);
+    const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
+    LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 }  // namespace a2a

@@ -40,7 +40,8 @@ PathSet build_shortest_path_set(const DiGraph& g,
 }
 
 PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
-                                     const SimplexOptions& lp, LpBasis* warm) {
+                                     const SimplexOptions& lp, LpBasis* warm,
+                                     LpWarmMode warm_mode) {
   const std::size_t K = paths.commodities.size();
   A2A_REQUIRE(K >= 1, "empty path set");
   LpModel model(Sense::kMaximize);
@@ -75,7 +76,7 @@ PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
     model.add_coefficient(row, f_var, -1.0);
   }
 
-  const LpSolution sol = solve_lp_warm(model, lp, warm);
+  const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);
   if (!sol.optimal()) {
     throw SolverError("path MCF LP failed: " + to_string(sol.status));
   }

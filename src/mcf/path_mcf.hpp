@@ -41,7 +41,8 @@ struct PathMcfSolution {
 [[nodiscard]] PathMcfSolution solve_path_mcf_exact(const DiGraph& g,
                                                    const PathSet& paths,
                                                    const SimplexOptions& lp = {},
-                                                   LpBasis* warm = nullptr);
+                                                   LpBasis* warm = nullptr,
+                                                   LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Max per-edge load if each commodity splits its unit demand over its
 /// candidate paths with the given weights (weights are normalized per

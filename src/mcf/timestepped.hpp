@@ -56,6 +56,7 @@ struct TsMcfSolution {
 [[nodiscard]] TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
                                               const std::vector<NodeId>& terminals,
                                               const SimplexOptions& lp = {},
-                                              LpBasis* warm = nullptr);
+                                              LpBasis* warm = nullptr,
+                                              LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 }  // namespace a2a

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <set>
+#include <string>
+#include <vector>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -75,6 +78,49 @@ TEST(ThreadPool, ReusableAcrossCalls) {
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ManyConcurrentThrowersStress) {
+  // Regression for the exception-publication race: many tasks throw at
+  // once from every worker, so several workers race to publish while the
+  // caller races to rethrow. Exactly one exception must surface per call,
+  // it must be a fully-formed one (safe to inspect), and the pool must
+  // stay usable afterwards. Repeated rounds shake out interleavings.
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> started{0};
+    bool caught = false;
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        started.fetch_add(1);
+        throw InvalidArgument("boom " + std::to_string(i));
+      });
+    } catch (const InvalidArgument& e) {
+      caught = true;
+      EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_GE(started.load(), 1);
+    // The pool is intact: a clean run completes fully.
+    std::atomic<int> ok{0};
+    pool.parallel_for(32, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 32);
+  }
+}
+
+TEST(ThreadPool, LateIterationsSkippedAfterFailure) {
+  // Once a task throws, workers may skip iterations that have not started;
+  // whatever DID run must have run exactly once (no lost or doubled work).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == 0) throw SolverError("first");
+                                 }),
+               SolverError);
+  for (auto& h : hits) EXPECT_LE(h.load(), 1);
+  EXPECT_EQ(hits[0].load(), 1);
 }
 
 TEST(Table, AlignsColumns) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binio.hpp"
 #include "common/crc32.hpp"
 #include "common/random.hpp"
 #include "common/thread_pool.hpp"
@@ -291,6 +292,110 @@ TEST(SchedBin, PathDecodeRejectsNonEdgeRoute) {
   const std::string bytes = path_schedule_to_schedbin(cube, s);
   const DiGraph ring = make_ring(8);
   EXPECT_THROW((void)path_schedule_from_schedbin(ring, bytes), InvalidArgument);
+}
+
+// ---- hostile / corrupt frame hardening -------------------------------------
+
+/// Builds a syntactically well-formed link-kind container from raw parts:
+/// header fields as given, one directory entry + CRC per payload.
+std::string forge_container(SchedBinCodec codec, std::uint64_t word_count,
+                            std::uint32_t chunk_words,
+                            const std::vector<std::string>& payloads) {
+  std::string out;
+  out.append(kSchedBinMagic, sizeof(kSchedBinMagic));
+  binio::put_u16(out, kSchedBinVersion);
+  out.push_back(static_cast<char>(SchedBinKind::kLink));
+  out.push_back(static_cast<char>(codec));
+  binio::put_u32(out, 4);   // num_nodes
+  binio::put_u32(out, 1);   // num_steps
+  binio::put_u64(out, word_count / 9);  // record_count (immaterial here)
+  binio::put_u64(out, word_count);
+  binio::put_u64(out, 0);   // chunk_unit num
+  binio::put_u64(out, 1);   // chunk_unit den
+  binio::put_u32(out, chunk_words);
+  binio::put_u32(out, static_cast<std::uint32_t>(payloads.size()));
+  for (const std::string& p : payloads) {
+    binio::put_u32(out, static_cast<std::uint32_t>(p.size()));
+    binio::put_u32(out, crc32(p.data(), p.size()));
+  }
+  for (const std::string& p : payloads) out.append(p);
+  return out;
+}
+
+TEST(SchedBinHardening, HugeDeclaredDecodeIsRefusedBeforeAllocation) {
+  // 256 five-byte rle chunks claiming 2^24 words each: a ~1.3 KiB blob
+  // whose declared decoded size is 32 GiB. The reader must refuse on the
+  // decode budget — instantly, not after attempting the allocation.
+  const std::uint32_t chunk_words = 1u << 24;
+  std::string run;
+  append_svarint(run, 0);
+  append_uvarint(run, chunk_words);
+  const std::vector<std::string> payloads(256, run);
+  const std::string blob =
+      forge_container(SchedBinCodec::kRle,
+                      static_cast<std::uint64_t>(chunk_words) * 256,
+                      chunk_words, payloads);
+  EXPECT_LT(blob.size(), 4096u);
+  EXPECT_THROW((void)schedbin_inspect(blob), InvalidArgument);
+  EXPECT_THROW((void)link_schedule_from_schedbin(blob), InvalidArgument);
+  // An explicit (absurd) budget lets the same container through the clamp
+  // and into the ordinary decode path (which then rejects the word/record
+  // mismatch) — proving the refusal above came from the budget.
+  EXPECT_NO_THROW((void)schedbin_inspect(blob, 1ULL << 40));
+}
+
+TEST(SchedBinHardening, ChunkWordsAboveCeilingRejected) {
+  const std::string blob = forge_container(
+      SchedBinCodec::kRle, 1, 0xFFFFFFFFu, {std::string("\x00\x01", 2)});
+  EXPECT_THROW((void)schedbin_inspect(blob), InvalidArgument);
+  SchedBinOptions options;
+  options.chunk_words = kSchedBinMaxChunkWords + 1;
+  Rng rng(3);
+  const LinkSchedule s = random_link_schedule(rng, 4);
+  EXPECT_THROW((void)link_schedule_to_schedbin(s, options), InvalidArgument);
+}
+
+TEST(SchedBinHardening, PayloadTooSmallForDeclaredWordsRejected) {
+  // Delta codec needs >= 1 byte per word; a chunk declaring 100 words from
+  // a 10-byte payload is structurally corrupt and must fail in the parse,
+  // before any decoder sizes its output from the header.
+  std::string payload(10, '\0');  // ten valid zero svarints
+  const std::string blob =
+      forge_container(SchedBinCodec::kDelta, 100, 128, {payload});
+  EXPECT_THROW((void)schedbin_inspect(blob), InvalidArgument);
+  EXPECT_THROW((void)link_schedule_from_schedbin(blob), InvalidArgument);
+}
+
+TEST(SchedBinHardening, RawChunkSizeMustBeExact) {
+  std::string payload(7 * 8 + 3, '\0');  // not a multiple of a word
+  const std::string blob =
+      forge_container(SchedBinCodec::kRaw, 9, 16, {payload});
+  EXPECT_THROW((void)schedbin_inspect(blob), InvalidArgument);
+}
+
+TEST(SchedBinHardening, RleRunOverflowingChunkRejected) {
+  // One run claiming more words than the chunk declares: the rle decoder's
+  // growth clamp must throw instead of writing past the declared size.
+  std::string run;
+  append_svarint(run, 7);
+  append_uvarint(run, 1000);  // chunk declares only 16 words
+  const std::string blob = forge_container(SchedBinCodec::kRle, 16, 16, {run});
+  EXPECT_THROW((void)link_schedule_from_schedbin(blob), InvalidArgument);
+}
+
+TEST(SchedBinHardening, LegitimateLargeRleStillDecodes) {
+  // The clamps must not reject honest high-ratio RLE: a constant 200k-word
+  // schedule compresses to a handful of runs and still round-trips.
+  LinkSchedule s;
+  s.num_nodes = 2;
+  s.num_steps = 1;
+  s.transfers.assign(20000, Transfer{{0, 1, Rational(0), Rational(1)}, 0, 1, 1});
+  SchedBinOptions options;
+  options.codec = SchedBinCodec::kRle;
+  const std::string bytes = link_schedule_to_schedbin(s, options);
+  EXPECT_LT(bytes.size(), 4096u);
+  const LinkSchedule back = link_schedule_from_schedbin(bytes);
+  EXPECT_EQ(back.transfers.size(), s.transfers.size());
 }
 
 TEST(SchedBin, InspectReportsGeometry) {

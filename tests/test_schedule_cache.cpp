@@ -151,6 +151,49 @@ TEST(ScheduleCache, DiskTierSurvivesProcessRestart) {
   EXPECT_EQ(second.notes, first.notes);
 }
 
+TEST(ScheduleCache, ZeroCapacityDisablesMemoryTier) {
+  // max_entries == 0 used to be rejected by the constructor, and the insert
+  // path would otherwise admit-then-evict every entry (and promote every
+  // disk hit into an immediately evicted slot). It now means "memory tier
+  // off": inserts retain nothing, lookups without a disk tier always miss.
+  ScheduleCacheOptions options;
+  options.max_entries = 0;
+  ScheduleCache cache(options);
+  const DiGraph g = make_ring(5);
+  const Fabric fabric = cpu_oneccl_fabric();
+  const std::string fp = schedule_fingerprint(g, fabric, {});
+  const GeneratedSchedule schedule = generate_schedule(g, fabric, {});
+  cache.insert(fp, schedule);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(fp).has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, 0u);
+}
+
+TEST(ScheduleCache, ZeroCapacityStillServesDiskTier) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.max_entries = 0;
+  options.disk_dir = dir.path.string();
+  ScheduleCache cache(options);
+  const DiGraph g = make_ring(5);
+  const Fabric fabric = cpu_oneccl_fabric();
+  const std::string fp = schedule_fingerprint(g, fabric, {});
+  const GeneratedSchedule schedule = generate_schedule(g, fabric, {});
+  cache.insert(fp, schedule);
+  EXPECT_EQ(cache.size(), 0u);  // nothing retained in memory
+  const auto hit = cache.lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->concurrent_flow, schedule.concurrent_flow);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // the disk hit was not promoted either
+  // Repeated lookups keep hitting disk, never the (disabled) memory tier.
+  ASSERT_TRUE(cache.lookup(fp).has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 2u);
+  EXPECT_EQ(cache.stats().memory_hits, 0u);
+}
+
 TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
   const TempDir dir;
   const DiGraph g = make_ring(6);

@@ -413,6 +413,201 @@ TEST(SimplexBoundFlip, BoxedNetworkOptimumViaFlipsOnly) {
   }
 }
 
+TEST(SimplexCycling, BealeExampleTerminatesAtOptimum) {
+  // Beale's classic cycling LP: Dantzig pricing with naive tie-breaking
+  // cycles forever on this fixture. The solver's anti-cycling machinery
+  // (degenerate-streak Bland fallback) must terminate at the known optimum
+  // z* = -1/20 at x = (1/25, 0, 1, 0).
+  LpModel m(Sense::kMinimize);
+  const int x1 = m.add_variable(0, kInfinity, -0.75);
+  const int x2 = m.add_variable(0, kInfinity, 150.0);
+  const int x3 = m.add_variable(0, kInfinity, -0.02);
+  const int x4 = m.add_variable(0, kInfinity, 6.0);
+  int r = m.add_row(RowType::kLessEqual, 0);
+  m.add_coefficient(r, x1, 0.25);
+  m.add_coefficient(r, x2, -60.0);
+  m.add_coefficient(r, x3, -0.04);
+  m.add_coefficient(r, x4, 9.0);
+  r = m.add_row(RowType::kLessEqual, 0);
+  m.add_coefficient(r, x1, 0.5);
+  m.add_coefficient(r, x2, -90.0);
+  m.add_coefficient(r, x3, -0.02);
+  m.add_coefficient(r, x4, 3.0);
+  m.add_coefficient(m.add_row(RowType::kLessEqual, 1), x3, 1.0);
+  const LpSolution s = cross_check(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x1)], 0.04, 1e-7);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x3)], 1.0, 1e-7);
+}
+
+TEST(SimplexCycling, BealeWarmRestorationSurvivesDegeneracy) {
+  // Re-solve Beale's LP from its own optimal basis after tightening the x3
+  // bound row: the restoration path starts on a massively degenerate vertex
+  // and must repair feasibility (via the Bland fallback if it stalls)
+  // rather than reporting a failed solve.
+  LpModel m(Sense::kMinimize);
+  const int x1 = m.add_variable(0, kInfinity, -0.75);
+  const int x2 = m.add_variable(0, kInfinity, 150.0);
+  const int x3 = m.add_variable(0, kInfinity, -0.02);
+  const int x4 = m.add_variable(0, kInfinity, 6.0);
+  int r = m.add_row(RowType::kLessEqual, 0);
+  m.add_coefficient(r, x1, 0.25);
+  m.add_coefficient(r, x2, -60.0);
+  m.add_coefficient(r, x3, -0.04);
+  m.add_coefficient(r, x4, 9.0);
+  r = m.add_row(RowType::kLessEqual, 0);
+  m.add_coefficient(r, x1, 0.5);
+  m.add_coefficient(r, x2, -90.0);
+  m.add_coefficient(r, x3, -0.02);
+  m.add_coefficient(r, x4, 3.0);
+  const int bound_row = m.add_row(RowType::kLessEqual, 1);
+  m.add_coefficient(bound_row, x3, 1.0);
+  const LpSolution first = solve_lp(m);
+  ASSERT_TRUE(first.optimal());
+
+  LpModel tight(Sense::kMinimize);
+  (void)tight.add_variable(0, kInfinity, -0.75);
+  (void)tight.add_variable(0, kInfinity, 150.0);
+  (void)tight.add_variable(0, kInfinity, -0.02);
+  (void)tight.add_variable(0, kInfinity, 6.0);
+  r = tight.add_row(RowType::kLessEqual, 0);
+  tight.add_coefficient(r, x1, 0.25);
+  tight.add_coefficient(r, x2, -60.0);
+  tight.add_coefficient(r, x3, -0.04);
+  tight.add_coefficient(r, x4, 9.0);
+  r = tight.add_row(RowType::kLessEqual, 0);
+  tight.add_coefficient(r, x1, 0.5);
+  tight.add_coefficient(r, x2, -90.0);
+  tight.add_coefficient(r, x3, -0.02);
+  tight.add_coefficient(r, x4, 3.0);
+  tight.add_coefficient(tight.add_row(RowType::kLessEqual, 0.5), x3, 1.0);
+  const LpSolution cold = solve_lp(tight);
+  const LpSolution warm = solve_lp(tight, {}, &first.basis, LpWarmMode::kPrimal);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+}
+
+// ---- dual simplex ----------------------------------------------------------
+
+TEST(DualSimplex, AdoptsOptimalBasisWithZeroPivots) {
+  // Unperturbed re-solve under kDual: the basis is primal and dual feasible,
+  // so the dual loop should confirm optimality without a single pivot.
+  const DiGraph g = make_hypercube(3);
+  const LpModel model = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution cold = solve_lp(model);
+  ASSERT_TRUE(cold.optimal());
+  const LpSolution dual = solve_lp(model, {}, &cold.basis, LpWarmMode::kDual);
+  ASSERT_TRUE(dual.optimal());
+  EXPECT_TRUE(dual.warm_started);
+  EXPECT_EQ(dual.iterations, 0);
+  EXPECT_NEAR(dual.objective, cold.objective, 1e-9);
+}
+
+/// The tentpole property: after tightening capacities under an optimal
+/// basis (the Fig. 9 move), the basis stays dual feasible and the dual
+/// simplex must reach the same optimum a cold solve finds, on every seed.
+class DualSimplexCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualSimplexCapacitySweep, TightenedResolveMatchesCold) {
+  Rng rng(static_cast<std::uint64_t>(500 + GetParam()));
+  const DiGraph base = make_random_regular(8, 3, rng);
+  const LpModel base_model =
+      build_link_mcf_model(base, TerminalPairs(all_nodes(base)));
+  const LpSolution first = solve_lp(base_model);
+  ASSERT_TRUE(first.optimal());
+
+  DiGraph g = base;
+  const int hits = 1 + static_cast<int>(rng.next_below(4));
+  for (int k = 0; k < hits; ++k) {
+    const EdgeId e = static_cast<EdgeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+    g.set_capacity(e, 0.25 + 0.5 * rng.next_double());
+  }
+  const LpModel perturbed = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution cold = solve_lp(perturbed);
+  const LpSolution dual = solve_lp(perturbed, {}, &first.basis, LpWarmMode::kDual);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(dual.optimal());
+  EXPECT_NEAR(dual.objective, cold.objective,
+              1e-6 * std::max(1.0, std::abs(cold.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualSimplexCapacitySweep, ::testing::Range(0, 10));
+
+TEST(DualSimplex, BoundFlipHeavyBoxes) {
+  // Boxed LP whose re-solve shrinks the shared capacity: restoring
+  // feasibility in the dual requires crossing many boxed columns in the
+  // ratio test, exercising the bound-flipping walk.
+  const int n = 24;
+  LpModel m(Sense::kMaximize);
+  const int cap = m.add_row(RowType::kLessEqual, 18.0);
+  for (int i = 0; i < n; ++i) {
+    const int v = m.add_variable(0, 1, 1.0 + 0.002 * i);
+    m.add_coefficient(cap, v, 1.0);
+  }
+  const LpSolution first = solve_lp(m);
+  ASSERT_TRUE(first.optimal());
+  // Top 18 of the 24 boxed columns saturate: 18 + 0.002 * sum(6..23).
+  EXPECT_NEAR(first.objective, 18.0 + 0.002 * 261, 1e-6);
+
+  LpModel tight(Sense::kMaximize);
+  const int cap2 = tight.add_row(RowType::kLessEqual, 5.0);
+  for (int i = 0; i < n; ++i) {
+    const int v = tight.add_variable(0, 1, 1.0 + 0.002 * i);
+    tight.add_coefficient(cap2, v, 1.0);
+  }
+  const LpSolution cold = solve_lp(tight);
+  const LpSolution dual = solve_lp(tight, {}, &first.basis, LpWarmMode::kDual);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(dual.optimal());
+  EXPECT_TRUE(dual.warm_started);
+  EXPECT_NEAR(dual.objective, cold.objective, 1e-7);
+  // The five highest-value columns fill the shrunk capacity.
+  EXPECT_NEAR(dual.objective, 5.0 + 0.002 * (23 + 22 + 21 + 20 + 19), 1e-6);
+}
+
+TEST(DualSimplex, DualInfeasibleWarmBasisFallsBackToPrimal) {
+  // Flip the objective after the first solve: the old basis keeps primal
+  // feasibility but its reduced costs have the wrong signs, so kDual cannot
+  // run the dual loop and must land on the primal path — transparently, with
+  // the same optimum a cold solve finds.
+  const DiGraph g = make_ring(5);
+  LpModel model = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+  const LpSolution first = solve_lp(model);
+  ASSERT_TRUE(first.optimal());
+
+  // Same constraints, inverted sense of progress: maximize -F.
+  LpModel flipped = model;
+  flipped.set_objective(model.num_variables() - 1, -1.0);
+  const LpSolution cold = solve_lp(flipped);
+  const LpSolution warm = solve_lp(flipped, {}, &first.basis, LpWarmMode::kDual);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(DualSimplex, TsMcfCapacityUpdateViaEntryPoint) {
+  // End-to-end through solve_tsmcf_exact: warm basis round-trips across a
+  // capacity update in kDual mode with the objective a cold pipeline finds.
+  const DiGraph g = make_ring(5);
+  const int steps = diameter(g) + 1;
+  LpBasis warm;
+  const auto first =
+      solve_tsmcf_exact(g, steps, all_nodes(g), {}, &warm, LpWarmMode::kDual);
+  ASSERT_FALSE(warm.empty());
+
+  DiGraph tight = g;
+  tight.set_capacity(0, 0.5);
+  const auto cold = solve_tsmcf_exact(tight, steps, all_nodes(tight));
+  const auto dual =
+      solve_tsmcf_exact(tight, steps, all_nodes(tight), {}, &warm,
+                        LpWarmMode::kDual);
+  EXPECT_NEAR(dual.total_utilization, cold.total_utilization, 1e-6);
+  EXPECT_GE(dual.total_utilization, first.total_utilization - 1e-9);
+}
+
 TEST(SimplexBoundFlip, FlipOnlySolveLeavesBasisUntouched) {
   // Optimum reached purely by flipping variables to their upper bounds; the
   // final basis must still round-trip as a warm start.

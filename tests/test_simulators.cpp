@@ -115,12 +115,13 @@ TEST(CtSimulator, EventModelTracksClosedForm) {
   const double shard = 64e6;
   const auto closed = simulate_path_schedule(g, sched, shard, 8, fabric);
   const auto event = simulate_path_schedule_events(g, sched, shard, 8, fabric);
-  // Same steady-state regime: within ~3x of each other at large buffers.
-  // (The MCF LP is degenerate; different simplex pivot orders pick different
-  // optimal vertices, so the compiled schedule — and this ratio — shifts a
-  // little between solver implementations.)
-  EXPECT_LT(event.seconds, 3.0 * closed.seconds);
-  EXPECT_GT(event.seconds, closed.seconds / 3.0);
+  // Same steady-state regime: within 2.5x of each other at large buffers.
+  // (The MCF LP is degenerate, but the primal ratio test breaks degenerate
+  // ties deterministically — larger pivot magnitude, then lower basic
+  // index — so the chosen optimal vertex, the compiled schedule, and this
+  // ratio are stable run over run; measured 2.25x on this fixture.)
+  EXPECT_LT(event.seconds, 2.5 * closed.seconds);
+  EXPECT_GT(event.seconds, closed.seconds / 2.5);
 }
 
 TEST(CtSimulator, CutThroughBeatsStoreAndForwardAtSmallBuffers) {
