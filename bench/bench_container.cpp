@@ -1,7 +1,19 @@
 // SchedBin container study — size and (de)serialization throughput vs the
-// §4 XML dialect across the Fig. 10 topology families, plus the schedule
-// cache's effect on repeat generate_schedule() calls.
+// §4 XML dialect across the Fig. 10 topology families, the v2 dict codec vs
+// rle/delta on Fig. 3/4-style schedules, mmap chunk reads vs whole-file
+// slurps, plus the schedule cache's effect on repeat generate_schedule()
+// calls.
+//
+//   bench_container          full sweep
+//   bench_container --smoke  one small case + hard assertions (CI gate):
+//                            dict beats rle/delta on the path schedule, and
+//                            an mmap single-chunk read touches a fraction
+//                            of the file. Nonzero exit on violation.
 #include "bench_util.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "common/thread_pool.hpp"
 #include "container/schedbin.hpp"
@@ -19,10 +31,11 @@ struct Case {
   DiGraph graph;
 };
 
-std::vector<Case> fig10_cases() {
+std::vector<Case> fig10_cases(bool smoke) {
   Rng rng(1);
   std::vector<Case> cases;
   cases.push_back({"GenKautz(16,4)", make_generalized_kautz(16, 4)});
+  if (smoke) return cases;
   cases.push_back({"GenKautz(32,4)", make_generalized_kautz(32, 4)});
   cases.push_back({"GenKautz(64,4)", make_generalized_kautz(64, 4)});
   cases.push_back({"Torus2D(36)", make_torus_2d(36)});
@@ -49,40 +62,89 @@ double mbps(std::size_t bytes, double seconds) {
   return static_cast<double>(bytes) / 1e6 / seconds;
 }
 
+struct TempFile {
+  std::filesystem::path path;
+  explicit TempFile(const std::string& stem) {
+    path = std::filesystem::temp_directory_path() /
+           (stem + "_" + std::to_string(::getpid()) + ".schedbin");
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  void write(std::string_view bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   ThreadPool pool;
   ToolchainOptions toolchain;
   toolchain.chunking = coarse_chunking();
   const Fabric fabric = hpc_cerio_fabric();
+  int failures = 0;
 
   std::cout << "=== SchedBin vs XML: size across the Fig. 10 topology sweep "
                "===\n\n";
   Table sizes({"topology", "routes", "xml KB", "raw KB", "rle KB", "delta KB",
-               "xml/delta"});
+               "dict KB", "xml/delta", "delta/dict"});
   Table speeds({"topology", "xml enc MB/s", "xml dec MB/s", "bin enc MB/s",
                 "bin dec MB/s", "bin enc(mt) MB/s", "bin dec(mt) MB/s"});
 
   double worst_ratio = 1e30;
-  for (Case& c : fig10_cases()) {
+  double worst_dict_gain = 1e30;
+  std::string mmap_blob;  // largest delta container, reused below
+  for (Case& c : fig10_cases(smoke)) {
     const GeneratedSchedule generated =
         generate_schedule(c.graph, fabric, toolchain);
     const PathSchedule& sched = *generated.path;
     const DiGraph& g = generated.schedule_graph;
 
     const std::string xml = path_schedule_to_xml(g, sched);
-    std::string by_codec[3];
+    std::string by_codec[4];
     for (const SchedBinCodec codec :
-         {SchedBinCodec::kRaw, SchedBinCodec::kRle, SchedBinCodec::kDelta}) {
+         {SchedBinCodec::kRaw, SchedBinCodec::kRle, SchedBinCodec::kDelta,
+          SchedBinCodec::kDict}) {
       SchedBinOptions options;
       options.codec = codec;
+      // Small chunks so the frame dictionary proves itself ACROSS chunks
+      // and the mmap section below has chunks to pick from.
+      options.chunk_words = 4096;
       by_codec[static_cast<int>(codec)] = path_schedule_to_schedbin(g, sched, options);
     }
     const std::string& delta = by_codec[static_cast<int>(SchedBinCodec::kDelta)];
+    const std::string& dict = by_codec[static_cast<int>(SchedBinCodec::kDict)];
+    {
+      // The mmap section wants plenty of chunks even for the small smoke
+      // case, so a single-chunk read is a small fraction of the file.
+      SchedBinOptions mm;
+      mm.codec = SchedBinCodec::kDelta;
+      mm.chunk_words = 256;
+      mmap_blob = path_schedule_to_schedbin(g, sched, mm);
+    }
     const double ratio =
         static_cast<double>(xml.size()) / static_cast<double>(delta.size());
+    const double dict_gain =
+        static_cast<double>(delta.size()) / static_cast<double>(dict.size());
     worst_ratio = std::min(worst_ratio, ratio);
+    worst_dict_gain = std::min(worst_dict_gain, dict_gain);
+    if (dict.size() >= by_codec[1].size() || dict.size() >= delta.size()) {
+      std::cout << "FAIL: dict (" << dict.size() << " B) does not beat rle ("
+                << by_codec[1].size() << " B) / delta (" << delta.size()
+                << " B) on " << c.name << "\n";
+      ++failures;
+    }
     sizes.row()
         .cell(c.name)
         .cell(static_cast<long long>(sched.entries.size()))
@@ -90,7 +152,9 @@ int main() {
         .cell(static_cast<double>(by_codec[0].size()) / 1024.0, 1)
         .cell(static_cast<double>(by_codec[1].size()) / 1024.0, 1)
         .cell(static_cast<double>(delta.size()) / 1024.0, 1)
-        .cell(ratio, 1);
+        .cell(static_cast<double>(dict.size()) / 1024.0, 1)
+        .cell(ratio, 1)
+        .cell(dict_gain, 2);
 
     SchedBinOptions serial;
     serial.codec = SchedBinCodec::kDelta;
@@ -122,14 +186,67 @@ int main() {
   sizes.print(std::cout);
   std::cout << "\nworst xml/delta compression ratio: " << worst_ratio
             << (worst_ratio >= 5.0 ? "  (meets the >=5x target)" : "  (BELOW 5x!)")
+            << "\nworst delta/dict gain: " << worst_dict_gain
+            << (worst_dict_gain > 1.0 ? "  (dict wins everywhere)"
+                                      : "  (DICT LOSES!)")
             << "\n\n=== schedule (de)serialization throughput (logical MB/s) "
                "===\n\n";
   speeds.print(std::cout);
 
+  std::cout << "\n=== mmap chunk reads vs whole-file slurp ===\n\n";
+  {
+    const TempFile file("a2a_bench_mmap");
+    file.write(mmap_blob);
+    const double slurp_s = best_time([&] {
+      const std::string bytes = slurp(file.path);
+      (void)schedbin_inspect(bytes);
+    });
+    const double open_s = best_time(
+        [&] { (void)SchedBinReader::open_file(file.path.string()); });
+    const SchedBinReader reader = SchedBinReader::open_file(file.path.string());
+    std::vector<std::int64_t> chunk;
+    const std::uint32_t mid = reader.num_chunks() / 2;
+    const double one_chunk_s = best_time([&] {
+      const SchedBinReader r = SchedBinReader::open_file(file.path.string());
+      std::vector<std::int64_t> local;
+      r.decode_chunk(mid, local);
+    });
+    SchedBinReader counted = SchedBinReader::open_file(file.path.string());
+    counted.decode_chunk(mid, chunk);
+    Table mmap_table({"operation", "time us", "bytes touched", "of file"});
+    const auto pct = [&](std::size_t n) {
+      return 100.0 * static_cast<double>(n) /
+             static_cast<double>(mmap_blob.size());
+    };
+    mmap_table.row()
+        .cell("slurp + validate all")
+        .cell(slurp_s * 1e6, 1)
+        .cell(static_cast<long long>(mmap_blob.size()))
+        .cell(100.0, 1);
+    mmap_table.row()
+        .cell("mmap open (hdr+trailer)")
+        .cell(open_s * 1e6, 1)
+        .cell(static_cast<long long>(
+            SchedBinReader::open_file(file.path.string()).bytes_read()))
+        .cell(pct(SchedBinReader::open_file(file.path.string()).bytes_read()), 1);
+    mmap_table.row()
+        .cell("mmap open + 1 chunk")
+        .cell(one_chunk_s * 1e6, 1)
+        .cell(static_cast<long long>(counted.bytes_read()))
+        .cell(pct(counted.bytes_read()), 1);
+    mmap_table.print(std::cout);
+    if (counted.bytes_read() * 2 >= mmap_blob.size()) {
+      std::cout << "FAIL: single-chunk mmap read touched "
+                << counted.bytes_read() << " of " << mmap_blob.size()
+                << " bytes\n";
+      ++failures;
+    }
+  }
+
   std::cout << "\n=== ScheduleCache: repeat generate_schedule() cost ===\n\n";
   Table cache_table({"topology", "pipeline s", "cached s", "speedup"});
   ScheduleCache cache;
-  for (Case& c : fig10_cases()) {
+  for (Case& c : fig10_cases(smoke)) {
     if (c.graph.num_nodes() > 32) continue;  // keep the demo quick
     const double cold = timed(
         [&] { (void)generate_schedule(c.graph, fabric, toolchain, &cache); });
@@ -139,6 +256,10 @@ int main() {
   }
   cache_table.print(std::cout);
   std::cout << "\ncache stats: " << cache.stats().hits() << " hits, "
-            << cache.stats().misses << " misses\n";
-  return 0;
+            << cache.stats().misses << " misses ("
+            << cache.memory_bytes() / 1024 << " KiB resident)\n";
+  if (smoke) {
+    std::cout << (failures == 0 ? "\nSMOKE OK\n" : "\nSMOKE FAILED\n");
+  }
+  return failures == 0 ? 0 : 1;
 }

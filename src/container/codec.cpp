@@ -1,5 +1,8 @@
 #include "container/codec.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/binio.hpp"
 #include "common/varint.hpp"
 
@@ -10,6 +13,7 @@ const char* codec_name(SchedBinCodec codec) {
     case SchedBinCodec::kRaw: return "raw";
     case SchedBinCodec::kRle: return "rle";
     case SchedBinCodec::kDelta: return "delta";
+    case SchedBinCodec::kDict: return "dict";
   }
   throw InvalidArgument("unknown SchedBin codec id " +
                         std::to_string(static_cast<int>(codec)));
@@ -19,6 +23,7 @@ SchedBinCodec codec_from_name(const std::string& name) {
   if (name == "raw") return SchedBinCodec::kRaw;
   if (name == "rle") return SchedBinCodec::kRle;
   if (name == "delta") return SchedBinCodec::kDelta;
+  if (name == "dict") return SchedBinCodec::kDict;
   throw InvalidArgument("unknown SchedBin codec name: " + name);
 }
 
@@ -101,12 +106,101 @@ void decode_delta(const char* data, std::size_t size, std::int64_t* out,
 
 }  // namespace
 
+std::vector<std::int64_t> build_dictionary(const std::int64_t* words,
+                                           std::size_t count,
+                                           std::size_t max_entries) {
+  std::unordered_map<std::int64_t, std::uint64_t> freq;
+  freq.reserve(count / 4 + 16);
+  std::size_t i = 0;
+  while (i < count) {
+    // A run counts once: the run-length field already collapses it, so a
+    // word earns a dictionary slot by recurring across the frame, not by
+    // sitting in one long run (which rle/delta handle for free).
+    std::size_t run = 1;
+    while (i + run < count && words[i + run] == words[i]) ++run;
+    ++freq[words[i]];
+    i += run;
+  }
+  std::vector<std::pair<std::int64_t, std::uint64_t>> repeated;
+  repeated.reserve(freq.size());
+  for (const auto& [value, n] : freq) {
+    if (n >= 2) repeated.push_back({value, n});
+  }
+  std::sort(repeated.begin(), repeated.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (repeated.size() > max_entries) repeated.resize(max_entries);
+  std::vector<std::int64_t> dict;
+  dict.reserve(repeated.size());
+  for (const auto& [value, n] : repeated) dict.push_back(value);
+  return dict;
+}
+
+DictEncoder::DictEncoder(DictView dict) {
+  A2A_REQUIRE(dict.size <= kSchedBinMaxDictEntries, "dictionary with ",
+              dict.size, " entries above the ", kSchedBinMaxDictEntries,
+              " ceiling");
+  index_.reserve(dict.size);
+  for (std::size_t i = 0; i < dict.size; ++i) {
+    index_.push_back({dict.words[i], static_cast<std::uint32_t>(i)});
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+void DictEncoder::encode(const std::int64_t* words, std::size_t count,
+                         std::string& out) const {
+  std::size_t i = 0;
+  while (i < count) {
+    const std::int64_t value = words[i];
+    std::size_t run = 1;
+    while (i + run < count && words[i + run] == value) ++run;
+    const auto it = std::lower_bound(
+        index_.begin(), index_.end(), std::pair<std::int64_t, std::uint32_t>{value, 0},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it != index_.end() && it->first == value) {
+      append_uvarint(out, static_cast<std::uint64_t>(it->second) + 1);
+    } else {
+      append_uvarint(out, 0);
+      append_svarint(out, value);
+    }
+    append_uvarint(out, run);
+    i += run;
+  }
+}
+
+void decode_words_dict(DictView dict, const char* data, std::size_t size,
+                       std::int64_t* out, std::size_t count) {
+  std::size_t pos = 0;
+  std::size_t produced = 0;
+  while (produced < count) {
+    const std::uint64_t token = read_uvarint(data, size, pos);
+    std::int64_t value;
+    if (token == 0) {
+      value = read_svarint(data, size, pos);
+    } else {
+      A2A_REQUIRE(token <= dict.size, "dict token ", token,
+                  " beyond the ", dict.size, "-entry frame dictionary");
+      value = dict.words[token - 1];
+    }
+    const std::uint64_t run = read_uvarint(data, size, pos);
+    A2A_REQUIRE(run > 0 && run <= count - produced,
+                "dict run overflows chunk: run=", run, " produced=", produced,
+                " count=", count);
+    for (std::uint64_t r = 0; r < run; ++r) out[produced++] = value;
+  }
+  A2A_REQUIRE(pos == size, "trailing bytes after dict payload");
+}
+
 void encode_words(SchedBinCodec codec, const std::int64_t* words,
                   std::size_t count, std::string& out) {
   switch (codec) {
     case SchedBinCodec::kRaw: encode_raw(words, count, out); return;
     case SchedBinCodec::kRle: encode_rle(words, count, out); return;
     case SchedBinCodec::kDelta: encode_delta(words, count, out); return;
+    case SchedBinCodec::kDict:
+      throw InvalidArgument("dict codec needs a frame dictionary — use DictEncoder");
   }
   throw InvalidArgument("unknown SchedBin codec id " +
                         std::to_string(static_cast<int>(codec)));
@@ -118,6 +212,9 @@ void decode_words(SchedBinCodec codec, const char* data, std::size_t size,
     case SchedBinCodec::kRaw: decode_raw(data, size, out, count); return;
     case SchedBinCodec::kRle: decode_rle(data, size, out, count); return;
     case SchedBinCodec::kDelta: decode_delta(data, size, out, count); return;
+    case SchedBinCodec::kDict:
+      throw InvalidArgument(
+          "dict codec needs a frame dictionary — use decode_words_dict");
   }
   throw InvalidArgument("unknown SchedBin codec id " +
                         std::to_string(static_cast<int>(codec)));

@@ -3,13 +3,17 @@
 // A schedule is flattened into a column-major stream of int64 "words"
 // (src column, dst column, step column, ...). Transfer records are highly
 // repetitive — sorted src columns are long runs, step columns are almost
-// monotone — so run-length and delta coding shrink them dramatically. Each
-// codec maps a span of words to bytes and back; chunking, checksumming and
+// monotone — so run-length and delta coding shrink them dramatically. The
+// dict codec adds a per-frame dictionary of repeated words (route weights,
+// rational denominators, hot node ids recur across chunks) so that a
+// repeated 8-to-10-byte value costs 1–3 bytes per occurrence. Each codec
+// maps a span of words to bytes and back; chunking, checksumming and
 // threading live one layer up in schedbin.cpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -19,14 +23,56 @@ enum class SchedBinCodec : std::uint8_t {
   kRaw = 0,    ///< little-endian 8 bytes per word.
   kRle = 1,    ///< (zigzag-varint value, varint run-length) pairs.
   kDelta = 2,  ///< zigzag-varint of successive differences.
+  kDict = 3,   ///< per-frame dictionary tokens + runs (v2 frames only).
 };
+
+/// Hard ceiling on dictionary entries. Tokens stay <= 3 varint bytes and a
+/// hostile trailer cannot demand an unbounded dictionary allocation.
+inline constexpr std::size_t kSchedBinMaxDictEntries = 65535;
 
 [[nodiscard]] const char* codec_name(SchedBinCodec codec);
 
-/// Parses "raw" | "rle" | "delta". Throws InvalidArgument on anything else.
+/// Parses "raw" | "rle" | "delta" | "dict". Throws InvalidArgument on
+/// anything else.
 [[nodiscard]] SchedBinCodec codec_from_name(const std::string& name);
 
-/// Compresses `count` words into `out` (appended).
+/// Non-owning view of a frame dictionary: distinct words, most frequent
+/// first so the hottest words get 1-byte tokens.
+struct DictView {
+  const std::int64_t* words = nullptr;
+  std::size_t size = 0;
+};
+
+/// Builds the frame dictionary for the dict codec: every word occurring at
+/// least twice in [words, words + count), ordered by (frequency desc, value
+/// asc) for determinism, truncated to `max_entries`.
+[[nodiscard]] std::vector<std::int64_t> build_dictionary(
+    const std::int64_t* words, std::size_t count,
+    std::size_t max_entries = kSchedBinMaxDictEntries);
+
+/// Reusable dict-codec encoder: owns the value -> token index built from a
+/// dictionary once per frame and shared across every chunk's encode.
+class DictEncoder {
+ public:
+  explicit DictEncoder(DictView dict);
+
+  /// Appends the dict encoding of `count` words to `out`. Wire format is a
+  /// sequence of (token, run) ops: token 0 = literal (svarint value
+  /// follows), token t >= 1 = dictionary word t-1; then uvarint run >= 1.
+  void encode(const std::int64_t* words, std::size_t count,
+              std::string& out) const;
+
+ private:
+  std::vector<std::pair<std::int64_t, std::uint32_t>> index_;  // sorted by value
+};
+
+/// Decodes exactly `count` words of dict-codec payload. Tokens beyond the
+/// dictionary and runs overflowing the chunk are errors, not overruns.
+void decode_words_dict(DictView dict, const char* data, std::size_t size,
+                       std::int64_t* out, std::size_t count);
+
+/// Compresses `count` words into `out` (appended). kDict is rejected here:
+/// it needs a frame dictionary — use DictEncoder.
 void encode_words(SchedBinCodec codec, const std::int64_t* words,
                   std::size_t count, std::string& out);
 
@@ -38,7 +84,8 @@ void encode_words(SchedBinCodec codec, const std::int64_t* words,
 /// so `count` — not attacker-controlled frame contents — bounds the
 /// allocation a caller must provision. Callers sizing `count` from an
 /// untrusted header must validate it first (see schedbin.cpp's decode
-/// budget and per-chunk minimum-payload clamps).
+/// budget and per-chunk minimum-payload clamps). kDict is rejected here:
+/// use decode_words_dict with the frame dictionary.
 void decode_words(SchedBinCodec codec, const char* data, std::size_t size,
                   std::int64_t* out, std::size_t count);
 

@@ -27,9 +27,13 @@ std::vector<std::int64_t> link_schedule_to_words(const LinkSchedule& schedule) {
 LinkSchedule link_schedule_from_words(const std::vector<std::int64_t>& words,
                                       int num_nodes, int num_steps,
                                       std::size_t record_count) {
-  A2A_REQUIRE(words.size() == kLinkColumns * record_count,
-              "link word stream has ", words.size(), " words, expected ",
-              kLinkColumns * record_count);
+  // Divide, don't multiply: `kLinkColumns * record_count` wraps for a
+  // hostile 64-bit record count, turning a mismatch into a false pass (and
+  // the resize below into a wild allocation).
+  A2A_REQUIRE(record_count <= words.size() / kLinkColumns &&
+                  words.size() == kLinkColumns * record_count,
+              "link word stream has ", words.size(), " words for ",
+              record_count, " records");
   LinkSchedule out;
   out.num_nodes = num_nodes;
   out.num_steps = num_steps;
@@ -74,9 +78,10 @@ PathSchedule path_schedule_from_words(const DiGraph& g,
                                       const std::vector<std::int64_t>& words,
                                       int num_nodes, const Rational& chunk_unit,
                                       std::size_t record_count) {
-  A2A_REQUIRE(words.size() >= kPathColumns * record_count,
-              "path word stream has ", words.size(),
-              " words, need at least ", kPathColumns * record_count);
+  // Divide, don't multiply: see link_schedule_from_words.
+  A2A_REQUIRE(record_count <= words.size() / kPathColumns,
+              "path word stream has ", words.size(), " words for ",
+              record_count, " records");
   PathSchedule out;
   out.num_nodes = num_nodes;
   out.chunk_unit = chunk_unit;
@@ -92,14 +97,25 @@ PathSchedule path_schedule_from_words(const DiGraph& g,
     e.num_chunks = static_cast<int>(words[3 * r + i]);
     e.layer = static_cast<int>(words[4 * r + i]);
     const std::int64_t len = words[5 * r + i];
-    A2A_REQUIRE(len >= 0 && node_pos + static_cast<std::size_t>(len) <= words.size(),
+    // Compare against the remaining words, not node_pos + len: a hostile
+    // 64-bit len would wrap that sum into a false pass and walk the reads
+    // off the end of the stream.
+    A2A_REQUIRE(len >= 0 && static_cast<std::uint64_t>(len) <=
+                                words.size() - node_pos,
                 "route node list overruns word stream (len=", len, ")");
     A2A_REQUIRE(len != 1, "route with a single node is not a path");
     for (std::int64_t j = 0; j + 1 < len; ++j) {
-      const auto u = static_cast<NodeId>(words[node_pos + static_cast<std::size_t>(j)]);
-      const auto v = static_cast<NodeId>(words[node_pos + static_cast<std::size_t>(j) + 1]);
-      const EdgeId edge = g.find_edge(u, v);
-      A2A_REQUIRE(edge >= 0, "route uses non-edge (", u, ",", v, ")");
+      const std::int64_t uw = words[node_pos + static_cast<std::size_t>(j)];
+      const std::int64_t vw = words[node_pos + static_cast<std::size_t>(j) + 1];
+      // Validate on the raw words before narrowing: a 2^40 node id would
+      // otherwise wrap into range and index the adjacency lists wild.
+      A2A_REQUIRE(uw >= 0 && uw < g.num_nodes() && vw >= 0 &&
+                      vw < g.num_nodes(),
+                  "route node out of range (", uw, ",", vw, ") for ",
+                  g.num_nodes(), " nodes");
+      const EdgeId edge =
+          g.find_edge(static_cast<NodeId>(uw), static_cast<NodeId>(vw));
+      A2A_REQUIRE(edge >= 0, "route uses non-edge (", uw, ",", vw, ")");
       e.path.push_back(edge);
     }
     node_pos += static_cast<std::size_t>(len);

@@ -2,11 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/binio.hpp"
 #include "common/crc32.hpp"
@@ -14,6 +17,8 @@
 namespace a2a {
 
 namespace {
+
+namespace fs = std::filesystem;
 
 using binio::put_u16;
 using binio::put_u32;
@@ -105,6 +110,30 @@ DiGraph read_graph(std::string_view bytes, std::size_t& pos) {
 constexpr char kEntryMagic[4] = {'S', 'B', 'C', 'E'};
 constexpr std::uint16_t kEntryVersion = 1;
 
+/// Atomic write: unique tmp name per process and write, then rename, so
+/// concurrent writers (threads or a fleet of processes) never interleave
+/// into one file and readers only ever see complete files.
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  static std::atomic<std::uint64_t> write_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(write_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    A2A_REQUIRE(out.good(), "cannot open cache file for writing: ", tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    A2A_REQUIRE(out.good(), "short write to cache file: ", tmp);
+  }
+  fs::rename(tmp, path);
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 }  // namespace
 
 std::string schedule_fingerprint(const DiGraph& topology, const Fabric& fabric,
@@ -144,6 +173,31 @@ std::string schedule_fingerprint(const DiGraph& topology, const Fabric& fabric,
   feed_i64(buf, options.vc_max_layers_warn);
 
   return hex128(fnv1a(buf, 0), fnv1a(buf, 0x9e3779b97f4a7c15ULL));
+}
+
+std::string schedule_content_key(std::string_view bytes) {
+  return hex128(fnv1a(bytes, 0x5bd1e995ULL),
+                fnv1a(bytes, 0xc2b2ae3d27d4eb4fULL));
+}
+
+std::size_t schedule_memory_bytes(const GeneratedSchedule& s) {
+  std::size_t bytes = sizeof(GeneratedSchedule);
+  if (s.link.has_value()) {
+    bytes += sizeof(LinkSchedule) + s.link->transfers.size() * sizeof(Transfer);
+  }
+  if (s.path.has_value()) {
+    bytes += sizeof(PathSchedule) + s.path->entries.size() * sizeof(RouteEntry);
+    for (const RouteEntry& e : s.path->entries) {
+      bytes += e.path.size() * sizeof(EdgeId);
+    }
+  }
+  bytes += s.terminals.size() * sizeof(NodeId);
+  bytes += s.notes.size();
+  // Graph adjacency: the edge array plus one EdgeId per direction in the
+  // out/in adjacency lists.
+  bytes += static_cast<std::size_t>(s.schedule_graph.num_edges()) *
+           (sizeof(Edge) + 2 * sizeof(EdgeId));
+  return bytes;
 }
 
 // ------------------------------------------------------- entry envelope ---
@@ -226,10 +280,88 @@ GeneratedSchedule generated_schedule_from_bytes(std::string_view bytes) {
 ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
     : options_(std::move(options)) {}
 
+namespace {
+
+fs::path objects_dir(const std::string& disk_dir) {
+  return fs::path(disk_dir) / "objects";
+}
+fs::path refs_dir(const std::string& disk_dir) {
+  return fs::path(disk_dir) / "refs";
+}
+fs::path object_path(const std::string& disk_dir, const std::string& key) {
+  return objects_dir(disk_dir) / (key + ".schedbin");
+}
+fs::path ref_path(const std::string& disk_dir, const std::string& fingerprint) {
+  return refs_dir(disk_dir) / (fingerprint + ".ref");
+}
+
+/// A ref file holds the 32-hex-char content key of its artifact.
+std::optional<std::string> resolve_ref(const std::string& disk_dir,
+                                       const std::string& fingerprint) {
+  auto key = read_file(ref_path(disk_dir, fingerprint));
+  if (!key.has_value() || key->size() != 32) return std::nullopt;
+  return key;
+}
+
+struct DiskArtifact {
+  fs::path path;
+  std::string key;  ///< object stem; empty for pre-v2 flat entries.
+  std::uintmax_t size = 0;
+  fs::file_time_type mtime;
+};
+
+/// Every finished artifact the disk tier holds: content-addressed objects
+/// plus pre-v2 flat `<fingerprint>.schedbin` entries at the top level —
+/// both serve lookups, so both must count toward (and be evictable under)
+/// the byte budget. In-flight ".tmp.<pid>.<seq>" files are skipped: a peer
+/// process's pending write must be neither counted nor evicted out from
+/// under its imminent rename.
+std::pair<std::vector<DiskArtifact>, std::uintmax_t> scan_artifacts(
+    const std::string& disk_dir) {
+  std::vector<DiskArtifact> out;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(objects_dir(disk_dir), ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".schedbin") continue;
+    out.push_back({de.path(), de.path().stem().string(), de.file_size(ec),
+                   de.last_write_time(ec)});
+    total += out.back().size;
+  }
+  for (const auto& de : fs::directory_iterator(fs::path(disk_dir), ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".schedbin") continue;
+    out.push_back({de.path(), "", de.file_size(ec), de.last_write_time(ec)});
+    total += out.back().size;
+  }
+  return {std::move(out), total};
+}
+
+}  // namespace
+
+namespace {
+
+/// Resolves a fingerprint to its artifact path ("" when absent). `had_ref`
+/// reports whether a ref file existed — a ref without its artifact is
+/// dangling (the object was GC'ed by another process) and worth cleaning.
+std::string resolve_entry(const std::string& disk_dir,
+                          const std::string& fingerprint, bool* had_ref) {
+  std::error_code ec;
+  const auto key = resolve_ref(disk_dir, fingerprint);
+  if (had_ref != nullptr) *had_ref = key.has_value();
+  if (key.has_value()) {
+    const fs::path obj = object_path(disk_dir, *key);
+    if (fs::exists(obj, ec)) return obj.string();
+  }
+  // Pre-v2 disk layout: one file per fingerprint, no sharing.
+  const fs::path legacy = fs::path(disk_dir) / (fingerprint + ".schedbin");
+  if (fs::exists(legacy, ec)) return legacy.string();
+  return {};
+}
+
+}  // namespace
+
 std::string ScheduleCache::entry_path(const std::string& fingerprint) const {
   if (options_.disk_dir.empty()) return {};
-  return (std::filesystem::path(options_.disk_dir) / (fingerprint + ".schedbin"))
-      .string();
+  return resolve_entry(options_.disk_dir, fingerprint, nullptr);
 }
 
 std::optional<GeneratedSchedule> ScheduleCache::lookup(
@@ -245,22 +377,34 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
   }
   // Disk read + decode happen outside the mutex so slow I/O never blocks
   // other consumers' memory-tier hits.
-  const std::string path = entry_path(fingerprint);
-  if (!path.empty()) {
-    std::ifstream in(path, std::ios::binary);
-    if (in.good()) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      // A corrupt disk entry is a miss, not an error: the caller recompiles
-      // and overwrites it.
-      try {
-        GeneratedSchedule schedule = generated_schedule_from_bytes(buf.str());
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.disk_hits;
-        insert_memory_locked(fingerprint, schedule);
-        return schedule;
-      } catch (const Error&) {
+  if (!options_.disk_dir.empty()) {
+    bool had_ref = false;
+    const std::string path =
+        resolve_entry(options_.disk_dir, fingerprint, &had_ref);
+    if (!path.empty()) {
+      if (const auto bytes = read_file(path)) {
+        // A corrupt disk entry is a miss, not an error: the caller
+        // recompiles and overwrites it.
+        try {
+          GeneratedSchedule schedule = generated_schedule_from_bytes(*bytes);
+          // Refresh the artifact's age — but only where the GC will ever
+          // read it: with an unbounded tier this would be a pointless
+          // mtime-write syscall on every hot-path hit.
+          if (options_.max_disk_bytes > 0) {
+            std::error_code ec;
+            fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+          }
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.disk_hits;
+          insert_memory_locked(fingerprint, schedule);
+          return schedule;
+        } catch (const Error&) {
+        }
       }
+    } else if (had_ref) {
+      // Dangling ref (its artifact was GC'ed by another process): drop it.
+      std::error_code ec;
+      fs::remove(ref_path(options_.disk_dir, fingerprint), ec);
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -275,27 +419,123 @@ void ScheduleCache::insert(const std::string& fingerprint,
     ++stats_.insertions;
     insert_memory_locked(fingerprint, schedule);
   }
-  const std::string path = entry_path(fingerprint);
-  if (path.empty()) return;
-  // Serialization and file I/O stay outside the mutex. The tmp name is
-  // unique per process and per write so concurrent writers (threads or a
-  // fleet of processes) never interleave into one file; the final rename is
-  // atomic, so readers only ever see complete entries.
-  std::filesystem::create_directories(options_.disk_dir);
+  if (options_.disk_dir.empty()) return;
+  // Serialization and file I/O stay outside the LRU mutex; disk_mutex_
+  // serializes writers and the GC within this process, and atomic renames
+  // keep a fleet of processes safe.
   const std::string bytes =
       generated_schedule_to_bytes(schedule, options_.schedbin);
-  static std::atomic<std::uint64_t> write_seq{0};
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(write_seq.fetch_add(1));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    A2A_REQUIRE(out.good(), "cannot open cache file for writing: ", tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    A2A_REQUIRE(out.good(), "short write to cache file: ", tmp);
+  if (options_.max_disk_bytes > 0 && bytes.size() > options_.max_disk_bytes) {
+    // Larger than the whole budget: writing it would only be GC'ed right
+    // back (same never-admit rule as the memory tier), so skip the write
+    // and count the rejection for monitoring.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_oversize_rejections;
+    return;
   }
-  std::filesystem::rename(tmp, path);
+  const std::string key = schedule_content_key(bytes);
+  std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+  fs::create_directories(objects_dir(options_.disk_dir));
+  fs::create_directories(refs_dir(options_.disk_dir));
+  const fs::path obj = object_path(options_.disk_dir, key);
+  std::error_code ec;
+  bool wrote = false;
+  // Content-addressed sharing: another fingerprint (or an earlier pipeline
+  // invocation) may already have produced this exact artifact. Verify the
+  // bytes before trusting it — a corrupt object would otherwise be
+  // poisoned forever, since every recompile-and-reinsert would dedup
+  // against the same bad file while every lookup keeps missing on it.
+  if (const auto existing = read_file(obj); existing == bytes) {
+    fs::last_write_time(obj, fs::file_time_type::clock::now(), ec);
+  } else {
+    write_file_atomic(obj.string(), bytes);
+    wrote = true;
+  }
+  write_file_atomic(ref_path(options_.disk_dir, fingerprint).string(), key);
+  if (options_.max_disk_bytes > 0) {
+    // Maintain the running total instead of walking the directory per
+    // insert: seed it with one scan, then only GC (which rescans exactly)
+    // when the total crosses the budget.
+    if (disk_total_ < 0) {
+      disk_total_ =
+          static_cast<std::int64_t>(scan_artifacts(options_.disk_dir).second);
+    } else if (wrote) {
+      disk_total_ += static_cast<std::int64_t>(bytes.size());
+    }
+    if (disk_total_ > static_cast<std::int64_t>(options_.max_disk_bytes)) {
+      gc_disk();
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.disk_writes;
+  if (wrote) {
+    ++stats_.disk_writes;
+  } else {
+    ++stats_.disk_dedups;
+  }
+}
+
+void ScheduleCache::gc_disk() {
+  // Reap orphaned temp files first: a writer killed between its ofstream
+  // write and the rename leaks an artifact-sized ".tmp.<pid>.<seq>" file
+  // that scan_artifacts deliberately ignores. Age-gate the reap so a live
+  // peer's in-flight write is never yanked from under its rename.
+  {
+    const auto cutoff =
+        fs::file_time_type::clock::now() - std::chrono::hours(1);
+    std::error_code ec;
+    for (const fs::path& dir :
+         {objects_dir(options_.disk_dir), refs_dir(options_.disk_dir),
+          fs::path(options_.disk_dir)}) {
+      for (const auto& de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec)) continue;
+        if (de.path().filename().string().find(".tmp.") == std::string::npos) {
+          continue;
+        }
+        if (de.last_write_time(ec) < cutoff) fs::remove(de.path(), ec);
+      }
+    }
+  }
+  auto [artifacts, total] = scan_artifacts(options_.disk_dir);
+  disk_total_ = static_cast<std::int64_t>(total);
+  if (total <= options_.max_disk_bytes) return;
+  // Refcount pass: refs pointing at a victim are removed with it, so a
+  // later lookup cleanly misses instead of chasing a dangling pointer.
+  // (Pre-v2 flat entries have no refs; removing the file is the eviction.)
+  std::error_code ec;
+  std::unordered_map<std::string, std::vector<fs::path>> refs_by_key;
+  for (const auto& de : fs::directory_iterator(refs_dir(options_.disk_dir), ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    if (const auto key = read_file(de.path()); key.has_value()) {
+      refs_by_key[*key].push_back(de.path());
+    }
+  }
+  std::sort(artifacts.begin(), artifacts.end(),
+            [](const DiskArtifact& a, const DiskArtifact& b) {
+              return a.mtime < b.mtime;
+            });
+  std::uint64_t evicted = 0;
+  for (const DiskArtifact& victim : artifacts) {
+    if (total <= options_.max_disk_bytes) break;
+    fs::remove(victim.path, ec);
+    if (!victim.key.empty()) {
+      for (const fs::path& ref : refs_by_key[victim.key]) fs::remove(ref, ec);
+    }
+    total -= victim.size;
+    ++evicted;
+  }
+  disk_total_ = static_cast<std::int64_t>(total);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.disk_evictions += evicted;
+}
+
+std::size_t ScheduleCache::disk_object_count() const {
+  if (options_.disk_dir.empty()) return 0;
+  return scan_artifacts(options_.disk_dir).first.size();
+}
+
+std::size_t ScheduleCache::disk_bytes() const {
+  if (options_.disk_dir.empty()) return 0;
+  return static_cast<std::size_t>(scan_artifacts(options_.disk_dir).second);
 }
 
 ScheduleCacheStats ScheduleCache::stats() const {
@@ -308,10 +548,16 @@ std::size_t ScheduleCache::size() const {
   return entries_.size();
 }
 
+std::size_t ScheduleCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_bytes_;
+}
+
 void ScheduleCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+  memory_bytes_ = 0;
 }
 
 void ScheduleCache::touch_locked(const std::string& fingerprint) {
@@ -323,21 +569,45 @@ void ScheduleCache::touch_locked(const std::string& fingerprint) {
 
 void ScheduleCache::insert_memory_locked(const std::string& fingerprint,
                                          const GeneratedSchedule& schedule) {
-  // max_entries == 0 disables the memory tier outright. Without this gate
-  // every insert would be admitted and then immediately evicted by the
-  // capacity sweep below (pure churn), and a zero-capacity promote-from-disk
+  // max_memory_bytes == 0 disables the memory tier outright. Without this
+  // gate every insert would be admitted and then immediately evicted by the
+  // budget sweep below (pure churn), and a zero-budget promote-from-disk
   // would do the same on every disk hit.
-  if (options_.max_entries == 0) return;
-  if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
+  if (options_.max_memory_bytes == 0) return;
+  const std::size_t bytes = schedule_memory_bytes(schedule);
+  const auto it = entries_.find(fingerprint);
+  if (bytes > options_.max_memory_bytes) {
+    // Larger than the whole budget: can never be resident. Also drop any
+    // smaller stale version so a hit cannot serve outdated data.
+    if (it != entries_.end()) {
+      memory_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    return;
+  }
+  if (it != entries_.end()) {
+    memory_bytes_ -= it->second.bytes;
     it->second.schedule = schedule;
+    it->second.bytes = bytes;
+    memory_bytes_ += bytes;
     touch_locked(fingerprint);
+    evict_over_budget_locked();
     return;
   }
   lru_.push_front(fingerprint);
-  entries_.emplace(fingerprint, Entry{schedule, lru_.begin()});
-  while (entries_.size() > options_.max_entries) {
-    entries_.erase(lru_.back());
+  entries_.emplace(fingerprint, Entry{schedule, bytes, lru_.begin()});
+  memory_bytes_ += bytes;
+  evict_over_budget_locked();
+}
+
+void ScheduleCache::evict_over_budget_locked() {
+  while (memory_bytes_ > options_.max_memory_bytes) {
+    const auto it = entries_.find(lru_.back());
+    memory_bytes_ -= it->second.bytes;
+    entries_.erase(it);
     lru_.pop_back();
+    ++stats_.memory_evictions;
   }
 }
 

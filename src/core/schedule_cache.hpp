@@ -6,9 +6,17 @@
 // results by a fingerprint of the request's canonical form and serves them
 // from two tiers:
 //
-//   * an in-memory LRU of decoded GeneratedSchedule values, and
+//   * an in-memory LRU of decoded GeneratedSchedule values, evicted by a
+//     decoded-size byte budget (schedules vary by 1000x in size; counting
+//     entries lets a handful of Fig. 10 monsters blow the heap), and
 //   * an optional on-disk tier of SchedBin-based entry files, so a fleet of
-//     processes (or a restarted one) shares compiled artifacts.
+//     processes (or a restarted one) shares compiled artifacts. Disk
+//     entries are content-addressed: the artifact file is keyed by a hash
+//     of its payload and request fingerprints are small ref files pointing
+//     at it, so identical schedules produced under different pipeline
+//     invocations (or different request options that happen to compile to
+//     the same schedule) share one artifact. A file-size byte budget
+//     garbage-collects the oldest artifacts and their refs.
 //
 // All operations are thread-safe; hit/miss counters expose the behaviour to
 // tests and monitoring.
@@ -27,12 +35,23 @@
 namespace a2a {
 
 struct ScheduleCacheOptions {
-  /// Capacity of the in-memory LRU tier. 0 disables the memory tier: every
+  /// Byte budget for the in-memory LRU tier, accounted in decoded schedule
+  /// size (see schedule_memory_bytes). 0 disables the memory tier: every
   /// lookup goes to the disk tier (when configured) and nothing is retained
   /// in memory — useful for memory-constrained fleets sharing a disk cache.
-  std::size_t max_entries = 64;
-  /// Directory for the on-disk tier ("" disables it). Created on first use.
+  /// An entry larger than the whole budget is never admitted.
+  std::size_t max_memory_bytes = 256ULL << 20;
+  /// Directory for the on-disk tier ("" disables it). Created on first use;
+  /// holds `objects/` (content-addressed artifacts) and `refs/`
+  /// (fingerprint -> artifact pointers).
   std::string disk_dir;
+  /// Byte budget for the disk tier, accounted in artifact file size
+  /// (content-addressed objects AND pre-v2 flat entry files both count).
+  /// 0 = unbounded (the disk tier is enabled/disabled by disk_dir alone).
+  /// When exceeded after a write, the oldest artifacts and every ref
+  /// pointing at them are garbage-collected; an artifact alone larger than
+  /// the whole budget is never written.
+  std::size_t max_disk_bytes = 0;
   /// Container settings for on-disk entries.
   SchedBinOptions schedbin;
 };
@@ -44,9 +63,23 @@ struct ScheduleCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t disk_writes = 0;
+  /// Inserts whose artifact already existed on disk under another
+  /// fingerprint (content-addressed sharing), so no bytes were written.
+  std::uint64_t disk_dedups = 0;
+  std::uint64_t memory_evictions = 0;
+  /// Artifacts removed by the disk byte-budget GC.
+  std::uint64_t disk_evictions = 0;
+  /// Inserts skipped because the artifact alone exceeds max_disk_bytes
+  /// (writing it would be evicted right back — pure churn).
+  std::uint64_t disk_oversize_rejections = 0;
 
   [[nodiscard]] std::uint64_t hits() const { return memory_hits + disk_hits; }
 };
+
+/// Deterministic estimate of the resident bytes of a decoded schedule
+/// (vectors' elements, notes, graph adjacency). This is what the memory
+/// tier's byte budget accounts, exposed so callers can size budgets.
+[[nodiscard]] std::size_t schedule_memory_bytes(const GeneratedSchedule& s);
 
 /// Fingerprint of a generate_schedule() request: a 128-bit hash (32 hex
 /// chars) over the topology's canonical form (node count + sorted edge list
@@ -69,21 +102,32 @@ class ScheduleCache {
   [[nodiscard]] std::optional<GeneratedSchedule> lookup(
       const std::string& fingerprint);
 
-  /// Stores `schedule` in the memory tier (evicting LRU entries past
-  /// capacity) and, when a disk_dir is configured, writes the entry file.
+  /// Stores `schedule` in the memory tier (evicting LRU entries past the
+  /// byte budget) and, when a disk_dir is configured, writes (or dedups
+  /// against) the content-addressed artifact and its ref file.
   void insert(const std::string& fingerprint, const GeneratedSchedule& schedule);
 
   [[nodiscard]] ScheduleCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  /// Decoded bytes currently held by the memory tier.
+  [[nodiscard]] std::size_t memory_bytes() const;
   void clear();  ///< drops the memory tier only; disk entries persist.
 
-  /// Path of the disk entry for a fingerprint ("" when disk tier disabled).
+  /// Path of the disk artifact a fingerprint currently resolves to (""
+  /// when the disk tier is disabled or the fingerprint has no entry).
   [[nodiscard]] std::string entry_path(const std::string& fingerprint) const;
+  /// Artifact files the disk tier currently holds (content-addressed
+  /// objects plus pre-v2 flat entries) and their total size. Exposed for
+  /// tests and monitoring.
+  [[nodiscard]] std::size_t disk_object_count() const;
+  [[nodiscard]] std::size_t disk_bytes() const;
 
  private:
   void touch_locked(const std::string& fingerprint);
   void insert_memory_locked(const std::string& fingerprint,
                             const GeneratedSchedule& schedule);
+  void evict_over_budget_locked();
+  void gc_disk();  ///< enforces max_disk_bytes; caller holds disk_mutex_.
 
   ScheduleCacheOptions options_;
   mutable std::mutex mutex_;
@@ -91,10 +135,21 @@ class ScheduleCache {
   std::list<std::string> lru_;
   struct Entry {
     GeneratedSchedule schedule;
+    std::size_t bytes = 0;
     std::list<std::string>::iterator lru_it;
   };
   std::unordered_map<std::string, Entry> entries_;
+  std::size_t memory_bytes_ = 0;
   ScheduleCacheStats stats_;
+  /// Serializes disk writes + GC (reads stay lock-free; a read racing a GC
+  /// deletion degrades to a miss).
+  std::mutex disk_mutex_;
+  /// Running artifact-byte total, seeded by one scan on the first
+  /// budgeted insert and maintained incrementally so inserts do not pay an
+  /// O(artifacts) directory walk while under budget. Other processes'
+  /// writes drift it low; every GC pass rescans and corrects. Guarded by
+  /// disk_mutex_. -1 = not yet seeded.
+  std::int64_t disk_total_ = -1;
 };
 
 /// Serializes a GeneratedSchedule to the cache's disk-entry envelope: a
@@ -105,5 +160,9 @@ class ScheduleCache {
     const GeneratedSchedule& schedule, const SchedBinOptions& options = {});
 [[nodiscard]] GeneratedSchedule generated_schedule_from_bytes(
     std::string_view bytes);
+
+/// Content key of an artifact's bytes (32 hex chars), the basename of its
+/// object file in the disk tier. Exposed for tests.
+[[nodiscard]] std::string schedule_content_key(std::string_view bytes);
 
 }  // namespace a2a

@@ -22,7 +22,8 @@ namespace {
 
 constexpr SchedBinCodec kAllCodecs[] = {SchedBinCodec::kRaw,
                                         SchedBinCodec::kRle,
-                                        SchedBinCodec::kDelta};
+                                        SchedBinCodec::kDelta,
+                                        SchedBinCodec::kDict};
 
 void expect_link_equal(const LinkSchedule& a, const LinkSchedule& b) {
   EXPECT_EQ(a.num_nodes, b.num_nodes);
@@ -296,14 +297,14 @@ TEST(SchedBin, PathDecodeRejectsNonEdgeRoute) {
 
 // ---- hostile / corrupt frame hardening -------------------------------------
 
-/// Builds a syntactically well-formed link-kind container from raw parts:
-/// header fields as given, one directory entry + CRC per payload.
+/// Builds a syntactically well-formed v1 link-kind container from raw
+/// parts: header fields as given, one directory entry + CRC per payload.
 std::string forge_container(SchedBinCodec codec, std::uint64_t word_count,
                             std::uint32_t chunk_words,
                             const std::vector<std::string>& payloads) {
   std::string out;
   out.append(kSchedBinMagic, sizeof(kSchedBinMagic));
-  binio::put_u16(out, kSchedBinVersion);
+  binio::put_u16(out, kSchedBinVersion1);
   out.push_back(static_cast<char>(SchedBinKind::kLink));
   out.push_back(static_cast<char>(codec));
   binio::put_u32(out, 4);   // num_nodes
@@ -406,7 +407,7 @@ TEST(SchedBin, InspectReportsGeometry) {
   options.chunk_words = 512;
   const std::string bytes = link_schedule_to_schedbin(s, options);
   const SchedBinInfo info = schedbin_inspect(bytes);
-  EXPECT_EQ(info.version, kSchedBinVersion);
+  EXPECT_EQ(info.version, kSchedBinVersion2);
   EXPECT_EQ(info.kind, SchedBinKind::kLink);
   EXPECT_EQ(info.codec, SchedBinCodec::kRle);
   EXPECT_EQ(info.num_nodes, s.num_nodes);

@@ -1,10 +1,13 @@
-// ScheduleCache: fingerprints, LRU tier, disk tier, pipeline bypass.
+// ScheduleCache: fingerprints, byte-budget LRU tier, content-addressed disk
+// tier, pipeline bypass.
 #include "core/schedule_cache.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "graph/topologies.hpp"
 #include "runtime/fabric.hpp"
@@ -31,6 +34,26 @@ struct TempDir {
     return c;
   }
 };
+
+/// Synthetic schedule whose memory footprint scales with `transfers` and
+/// whose serialized content is distinguished by `tag` — precise byte-budget
+/// and dedup experiments without running the LP/MCF pipeline.
+GeneratedSchedule make_sized(int transfers, int tag) {
+  GeneratedSchedule s;
+  s.kind = ScheduleKind::kLinkUnrolled;
+  LinkSchedule link;
+  link.num_nodes = 4;
+  link.num_steps = 1 + tag;
+  link.transfers.assign(
+      static_cast<std::size_t>(transfers),
+      Transfer{{0, 1, Rational(0), Rational(1)}, 0, 1, 1});
+  s.link = std::move(link);
+  s.concurrent_flow = tag;
+  s.schedule_graph = make_ring(4);
+  s.terminals = {0, 1, 2, 3};
+  s.notes = "synthetic";
+  return s;
+}
 
 TEST(Fingerprint, StableAndSensitive) {
   const DiGraph ring = make_ring(8);
@@ -98,22 +121,127 @@ TEST(ScheduleCache, DifferentRequestsMiss) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
-TEST(ScheduleCache, LruEvictsOldest) {
-  const Fabric fabric = cpu_oneccl_fabric();
+// ---- memory tier: byte-budget eviction ------------------------------------
+
+TEST(ScheduleCache, ByteBudgetEvictsLruOldest) {
+  const GeneratedSchedule a = make_sized(100, 1);
+  const GeneratedSchedule b = make_sized(100, 2);
+  const GeneratedSchedule c = make_sized(100, 3);
+  const std::size_t each = schedule_memory_bytes(a);
+  ASSERT_EQ(each, schedule_memory_bytes(b));
+
   ScheduleCacheOptions options;
-  options.max_entries = 2;
+  options.max_memory_bytes = 2 * each;  // room for exactly two
   ScheduleCache cache(options);
-  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
-  (void)generate_schedule(make_ring(6), fabric, {}, &cache);
-  // Touch ring(5) so ring(6) is the LRU victim.
-  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
-  (void)generate_schedule(make_ring(7), fabric, {}, &cache);
+  cache.insert("a", a);
+  cache.insert("b", b);
   EXPECT_EQ(cache.size(), 2u);
-  (void)generate_schedule(make_ring(5), fabric, {}, &cache);
-  EXPECT_EQ(cache.stats().memory_hits, 2u);  // the touch + this hit
-  (void)generate_schedule(make_ring(6), fabric, {}, &cache);
-  EXPECT_EQ(cache.stats().misses, 4u);  // 5, 6, 7, then evicted 6 again
+  EXPECT_EQ(cache.memory_bytes(), 2 * each);
+  // Touch a so b becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  cache.insert("c", c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().memory_evictions, 1u);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value()) << "b was the LRU victim";
 }
+
+TEST(ScheduleCache, MixedSizeEvictionFreesEnoughBytes) {
+  // One large insert must evict as many small LRU entries as it takes.
+  const GeneratedSchedule small = make_sized(50, 1);
+  const GeneratedSchedule large = make_sized(400, 2);
+  const std::size_t small_bytes = schedule_memory_bytes(small);
+  const std::size_t large_bytes = schedule_memory_bytes(large);
+  ASSERT_GT(large_bytes, 3 * small_bytes);
+
+  ScheduleCacheOptions options;
+  options.max_memory_bytes = large_bytes + small_bytes;
+  ScheduleCache cache(options);
+  cache.insert("s1", small);
+  cache.insert("s2", small);
+  cache.insert("s3", small);
+  cache.insert("s4", small);
+  EXPECT_EQ(cache.size(), 4u);
+  cache.insert("big", large);
+  EXPECT_LE(cache.memory_bytes(), options.max_memory_bytes);
+  EXPECT_TRUE(cache.lookup("big").has_value());
+  EXPECT_TRUE(cache.lookup("s4").has_value()) << "newest small survives";
+  EXPECT_FALSE(cache.lookup("s1").has_value());
+  EXPECT_FALSE(cache.lookup("s2").has_value());
+  EXPECT_FALSE(cache.lookup("s3").has_value());
+}
+
+TEST(ScheduleCache, BudgetExactlyMetKeepsEntries) {
+  const GeneratedSchedule a = make_sized(64, 1);
+  const GeneratedSchedule b = make_sized(64, 2);
+  ScheduleCacheOptions options;
+  options.max_memory_bytes = schedule_memory_bytes(a) + schedule_memory_bytes(b);
+  ScheduleCache cache(options);
+  cache.insert("a", a);
+  cache.insert("b", b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.memory_bytes(), options.max_memory_bytes);
+  EXPECT_EQ(cache.stats().memory_evictions, 0u);
+  // One more byte of demand evicts the LRU entry.
+  cache.insert("c", make_sized(1, 3));
+  EXPECT_EQ(cache.stats().memory_evictions, 1u);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+}
+
+TEST(ScheduleCache, SingleEntryLargerThanBudgetNeverAdmitted) {
+  const GeneratedSchedule big = make_sized(1000, 1);
+  ScheduleCacheOptions options;
+  options.max_memory_bytes = schedule_memory_bytes(big) - 1;
+  ScheduleCache cache(options);
+  cache.insert("big", big);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+  EXPECT_FALSE(cache.lookup("big").has_value());
+  // A smaller version under the same key is admitted; a later oversize
+  // update must drop it rather than serve stale data.
+  const GeneratedSchedule small = make_sized(10, 1);
+  cache.insert("big", small);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.insert("big", big);
+  EXPECT_EQ(cache.size(), 0u) << "oversize update must evict the stale entry";
+}
+
+TEST(ScheduleCache, ZeroBudgetDisablesMemoryTier) {
+  ScheduleCacheOptions options;
+  options.max_memory_bytes = 0;
+  ScheduleCache cache(options);
+  const GeneratedSchedule schedule = make_sized(10, 1);
+  cache.insert("fp", schedule);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+  EXPECT_FALSE(cache.lookup("fp").has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, 0u);
+}
+
+TEST(ScheduleCache, ZeroBudgetStillServesDiskTier) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.max_memory_bytes = 0;
+  options.disk_dir = dir.path.string();
+  ScheduleCache cache(options);
+  const GeneratedSchedule schedule = make_sized(10, 1);
+  cache.insert("fp", schedule);
+  EXPECT_EQ(cache.size(), 0u);  // nothing retained in memory
+  const auto hit = cache.lookup("fp");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->concurrent_flow, schedule.concurrent_flow);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // the disk hit was not promoted either
+  // Repeated lookups keep hitting disk, never the (disabled) memory tier.
+  ASSERT_TRUE(cache.lookup("fp").has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 2u);
+  EXPECT_EQ(cache.stats().memory_hits, 0u);
+}
+
+// ---- disk tier: content addressing + byte budget --------------------------
 
 TEST(ScheduleCache, DiskTierSurvivesProcessRestart) {
   const TempDir dir;
@@ -129,6 +257,7 @@ TEST(ScheduleCache, DiskTierSurvivesProcessRestart) {
     EXPECT_EQ(cache.stats().disk_writes, 1u);
     const std::string entry =
         cache.entry_path(schedule_fingerprint(g, fabric, {}));
+    ASSERT_FALSE(entry.empty());
     EXPECT_TRUE(fs::exists(entry));
   }
 
@@ -151,47 +280,157 @@ TEST(ScheduleCache, DiskTierSurvivesProcessRestart) {
   EXPECT_EQ(second.notes, first.notes);
 }
 
-TEST(ScheduleCache, ZeroCapacityDisablesMemoryTier) {
-  // max_entries == 0 used to be rejected by the constructor, and the insert
-  // path would otherwise admit-then-evict every entry (and promote every
-  // disk hit into an immediately evicted slot). It now means "memory tier
-  // off": inserts retain nothing, lookups without a disk tier always miss.
-  ScheduleCacheOptions options;
-  options.max_entries = 0;
-  ScheduleCache cache(options);
-  const DiGraph g = make_ring(5);
-  const Fabric fabric = cpu_oneccl_fabric();
-  const std::string fp = schedule_fingerprint(g, fabric, {});
-  const GeneratedSchedule schedule = generate_schedule(g, fabric, {});
-  cache.insert(fp, schedule);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.lookup(fp).has_value());
-  EXPECT_EQ(cache.stats().insertions, 1u);
-  EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().memory_hits, 0u);
-}
-
-TEST(ScheduleCache, ZeroCapacityStillServesDiskTier) {
+TEST(ScheduleCache, ContentAddressedDedupSharesOneArtifact) {
   const TempDir dir;
   ScheduleCacheOptions options;
-  options.max_entries = 0;
   options.disk_dir = dir.path.string();
   ScheduleCache cache(options);
-  const DiGraph g = make_ring(5);
-  const Fabric fabric = cpu_oneccl_fabric();
-  const std::string fp = schedule_fingerprint(g, fabric, {});
-  const GeneratedSchedule schedule = generate_schedule(g, fabric, {});
-  cache.insert(fp, schedule);
-  EXPECT_EQ(cache.size(), 0u);  // nothing retained in memory
-  const auto hit = cache.lookup(fp);
-  ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->concurrent_flow, schedule.concurrent_flow);
-  EXPECT_EQ(cache.stats().disk_hits, 1u);
-  EXPECT_EQ(cache.size(), 0u);  // the disk hit was not promoted either
-  // Repeated lookups keep hitting disk, never the (disabled) memory tier.
-  ASSERT_TRUE(cache.lookup(fp).has_value());
-  EXPECT_EQ(cache.stats().disk_hits, 2u);
-  EXPECT_EQ(cache.stats().memory_hits, 0u);
+  const GeneratedSchedule schedule = make_sized(200, 7);
+  // Two different requests (fingerprints) compiling to the identical
+  // schedule — e.g. the same topology requested under two option sets that
+  // do not change the result, or repeat pipeline invocations.
+  cache.insert("fingerprint_one", schedule);
+  cache.insert("fingerprint_two", schedule);
+  EXPECT_EQ(cache.disk_object_count(), 1u)
+      << "identical schedules must share one on-disk artifact";
+  EXPECT_EQ(cache.stats().disk_writes, 1u);
+  EXPECT_EQ(cache.stats().disk_dedups, 1u);
+  EXPECT_EQ(cache.entry_path("fingerprint_one"),
+            cache.entry_path("fingerprint_two"));
+
+  // Both fingerprints resolve from a fresh cache (disk only).
+  ScheduleCacheOptions cold = options;
+  cold.max_memory_bytes = 0;
+  ScheduleCache fresh(cold);
+  EXPECT_TRUE(fresh.lookup("fingerprint_one").has_value());
+  EXPECT_TRUE(fresh.lookup("fingerprint_two").has_value());
+  EXPECT_EQ(fresh.stats().disk_hits, 2u);
+
+  // Distinct content gets its own artifact.
+  cache.insert("fingerprint_three", make_sized(200, 8));
+  EXPECT_EQ(cache.disk_object_count(), 2u);
+}
+
+TEST(ScheduleCache, DiskByteBudgetGcEvictsOldestArtifactsAndRefs) {
+  const TempDir dir;
+  ScheduleCacheOptions probe_options;
+  probe_options.disk_dir = dir.path.string();
+  std::size_t artifact_bytes = 0;
+  {
+    ScheduleCache probe(probe_options);
+    probe.insert("probe", make_sized(300, 0));
+    artifact_bytes = probe.disk_bytes();
+    ASSERT_GT(artifact_bytes, 0u);
+    fs::remove(probe.entry_path("probe"));
+  }
+
+  ScheduleCacheOptions options = probe_options;
+  options.max_disk_bytes = 2 * artifact_bytes + artifact_bytes / 2;
+  ScheduleCache cache(options);
+  cache.insert("first", make_sized(300, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.insert("second", make_sized(300, 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(cache.disk_object_count(), 2u);
+  cache.insert("third", make_sized(300, 3));
+
+  // The budget holds two artifacts: the oldest ("first") was GC'ed along
+  // with its ref, so the lookup is a clean miss, not a dangling pointer.
+  EXPECT_EQ(cache.disk_object_count(), 2u);
+  EXPECT_LE(cache.disk_bytes(), options.max_disk_bytes);
+  EXPECT_GE(cache.stats().disk_evictions, 1u);
+  EXPECT_TRUE(cache.entry_path("first").empty());
+  EXPECT_FALSE(cache.entry_path("second").empty());
+  EXPECT_FALSE(cache.entry_path("third").empty());
+
+  ScheduleCacheOptions cold = options;
+  cold.max_memory_bytes = 0;
+  ScheduleCache fresh(cold);
+  EXPECT_FALSE(fresh.lookup("first").has_value());
+  EXPECT_TRUE(fresh.lookup("second").has_value());
+  EXPECT_TRUE(fresh.lookup("third").has_value());
+}
+
+TEST(ScheduleCache, ReinsertHealsCorruptArtifactInsteadOfDedupingAgainstIt) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  options.max_memory_bytes = 0;  // force every lookup to the disk tier
+  ScheduleCache cache(options);
+  const GeneratedSchedule schedule = make_sized(100, 3);
+  cache.insert("fp", schedule);
+  const std::string path = cache.entry_path("fp");
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    f.put('\xEE');
+  }
+  EXPECT_FALSE(cache.lookup("fp").has_value()) << "corrupt entry is a miss";
+  // The recompile-and-reinsert path must rewrite the bad bytes, not dedup
+  // against them and leave the object poisoned forever.
+  cache.insert("fp", schedule);
+  EXPECT_EQ(cache.stats().disk_writes, 2u);
+  EXPECT_EQ(cache.stats().disk_dedups, 0u);
+  ScheduleCacheOptions cold = options;
+  cold.max_memory_bytes = 0;
+  ScheduleCache fresh(cold);
+  EXPECT_TRUE(fresh.lookup("fp").has_value()) << "artifact healed";
+}
+
+TEST(ScheduleCache, OversizeArtifactIsNeverWrittenToDisk) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  const GeneratedSchedule big = make_sized(500, 1);
+  const std::size_t artifact =
+      generated_schedule_to_bytes(big, options.schedbin).size();
+  options.max_disk_bytes = artifact - 1;
+  ScheduleCache cache(options);
+  cache.insert("big", big);
+  // Writing it would only be GC'ed straight back (insert-then-evict churn),
+  // so the write is skipped and surfaced in the stats.
+  EXPECT_EQ(cache.disk_object_count(), 0u);
+  EXPECT_EQ(cache.stats().disk_writes, 0u);
+  EXPECT_EQ(cache.stats().disk_oversize_rejections, 1u);
+  // A fitting artifact still lands.
+  cache.insert("small", make_sized(5, 2));
+  EXPECT_EQ(cache.disk_object_count(), 1u);
+  EXPECT_EQ(cache.stats().disk_writes, 1u);
+}
+
+TEST(ScheduleCache, LegacyFlatEntriesCountTowardDiskBudgetAndEvict) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  // A pre-v2 cache layout: one flat <fingerprint>.schedbin at the top
+  // level. It must serve lookups, count toward the byte budget, and be
+  // evictable by the GC like any object.
+  const GeneratedSchedule legacy_schedule = make_sized(300, 1);
+  const std::string legacy_bytes =
+      generated_schedule_to_bytes(legacy_schedule, options.schedbin);
+  {
+    std::ofstream out(dir.path / "legacyfp.schedbin", std::ios::binary);
+    out.write(legacy_bytes.data(),
+              static_cast<std::streamsize>(legacy_bytes.size()));
+  }
+  ScheduleCache cache(options);
+  EXPECT_EQ(cache.disk_bytes(), legacy_bytes.size());
+  EXPECT_EQ(cache.disk_object_count(), 1u);
+  ASSERT_TRUE(cache.lookup("legacyfp").has_value());
+
+  // A budgeted cache inserting a new artifact must GC the (older) legacy
+  // file once the combined size crosses the budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ScheduleCacheOptions budgeted = options;
+  budgeted.max_disk_bytes = legacy_bytes.size() + legacy_bytes.size() / 2;
+  ScheduleCache squeezed(budgeted);
+  squeezed.insert("fresh", make_sized(300, 2));
+  EXPECT_EQ(squeezed.disk_object_count(), 1u);
+  EXPECT_GE(squeezed.stats().disk_evictions, 1u);
+  EXPECT_FALSE(fs::exists(dir.path / "legacyfp.schedbin"))
+      << "the older legacy entry was the GC victim";
+  EXPECT_FALSE(squeezed.entry_path("fresh").empty());
 }
 
 TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
@@ -204,8 +443,9 @@ TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
   {
     ScheduleCache cache(options);
     (void)generate_schedule(g, fabric, {}, &cache);
-    // Corrupt the entry on disk.
+    // Corrupt the artifact on disk.
     const std::string path = cache.entry_path(fp);
+    ASSERT_FALSE(path.empty());
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(10);
     f.put('\xFF');

@@ -9,19 +9,23 @@
 //   schedgen --topology ring --nodes 8 --format schedbin -o sched.schedbin
 //   schedgen --topology ring --nodes 8 --cache-dir /var/cache/a2a -o s.xml
 //   schedgen --topology ring --nodes 8 --convert sched.xml sched.schedbin
-//   schedgen --inspect sched.schedbin
+//   schedgen --format schedbin --codec dict --convert in.schedbin out.schedbin
+//   schedgen --inspect sched.schedbin [--mmap]
 //
 // Repeat invocations with --cache-dir are served from the on-disk schedule
 // cache and skip the LP/MCF pipeline entirely.
 //
 // Exit code 0 on success; diagnostics on stderr.
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "common/mmap_file.hpp"
 #include "common/thread_pool.hpp"
 #include "container/schedbin.hpp"
 #include "core/api.hpp"
@@ -51,6 +55,8 @@ struct Args {
   std::string convert_out;
   std::string inspect;
   bool report_only = false;
+  bool mmap = false;
+  bool schedbin_v1 = false;
 };
 
 void usage() {
@@ -66,11 +72,18 @@ void usage() {
       "  --fabric NAME     cerio|gpu|oneccl\n"
       "  --output FILE     write the schedule here (default: stdout)\n"
       "  --format FMT      xml|schedbin (default: xml)\n"
-      "  --codec NAME      schedbin codec: raw|rle|delta (default: delta)\n"
+      "  --codec NAME      schedbin codec: raw|rle|delta|dict (default: delta)\n"
+      "  --schedbin-v1     write SchedBin format v1 (no trailer/dict/metadata)\n"
       "  --cache-dir DIR   serve repeat requests from a schedule cache here\n"
-      "  --convert IN OUT  convert xml<->schedbin (direction inferred from\n"
-      "                    content; path schedules need the topology flags)\n"
-      "  --inspect FILE    print a SchedBin container's header and exit\n"
+      "  --convert IN OUT  convert between formats. xml<->schedbin is inferred\n"
+      "                    from content (path schedules need the topology\n"
+      "                    flags); a schedbin input with --format schedbin is\n"
+      "                    transcoded losslessly to the requested codec/\n"
+      "                    version, carrying the frame metadata through\n"
+      "  --inspect FILE    print a SchedBin container's header, metadata and\n"
+      "                    chunk directory, then exit\n"
+      "  --mmap            read --inspect/--convert input via mmap instead\n"
+      "                    of slurping (--inspect reports the bytes read)\n"
       "  --report-only     print the report, skip the schedule output\n";
 }
 
@@ -131,13 +144,38 @@ void write_output(const std::string& payload, const std::string& path) {
   std::cerr << "wrote " << payload.size() << " bytes to " << path << "\n";
 }
 
-bool is_schedbin(const std::string& bytes) {
+bool is_schedbin(std::string_view bytes) {
   return bytes.size() >= sizeof(kSchedBinMagic) &&
          std::memcmp(bytes.data(), kSchedBinMagic, sizeof(kSchedBinMagic)) == 0;
 }
 
-int run_inspect(const Args& args) {
-  const SchedBinInfo info = schedbin_inspect(read_file(args.inspect));
+SchedBinOptions bin_options_from(const Args& args, ThreadPool* pool) {
+  SchedBinOptions options;
+  options.codec = codec_from_name(args.codec);
+  options.version = args.schedbin_v1 ? kSchedBinVersion1 : kSchedBinVersion2;
+  options.pool = pool;
+  return options;
+}
+
+/// Escapes control bytes for terminal output: trailer metadata is untrusted
+/// container content, and printing it raw would let a hostile frame inject
+/// escape sequences into the operator's terminal.
+std::string printable(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    if (c >= 0x20 && c != 0x7F) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[5];
+      std::snprintf(buf, sizeof buf, "\\x%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void print_info(const SchedBinInfo& info) {
   std::cout << "schedbin v" << info.version << " "
             << (info.kind == SchedBinKind::kLink ? "link" : "path")
             << " schedule, codec=" << codec_name(info.codec)
@@ -156,37 +194,95 @@ int run_inspect(const Args& args) {
                     ? 0.0
                     : static_cast<double>(info.payload_bytes) /
                           (static_cast<double>(info.word_count) * 8) * 100.0)
-            << "% of raw words)\n";
+            << "% of raw words)";
+  if (info.version >= kSchedBinVersion2) {
+    std::cout << "\n  trailer: " << info.trailer_bytes << " bytes, dict "
+              << info.dict_words << " words, " << info.metadata.size()
+              << " metadata pairs";
+    for (const auto& [key, value] : info.metadata) {
+      std::cout << "\n    " << printable(key) << " = " << printable(value);
+    }
+  }
+  std::cout << "\n";
+}
+
+void print_directory(const SchedBinReader& reader) {
+  std::cout << "  directory:\n";
+  for (std::uint32_t c = 0; c < reader.num_chunks(); ++c) {
+    const auto entry = reader.chunk_entry(c);
+    std::cout << "    chunk " << c << ": offset " << entry.offset << ", "
+              << entry.size << " bytes, " << reader.chunk_word_count(c)
+              << " words, codec " << codec_name(entry.codec) << ", crc32 "
+              << std::hex << entry.crc32 << std::dec << "\n";
+  }
+}
+
+int run_inspect(const Args& args) {
+  if (args.mmap) {
+    // Zero-copy path: header + trailer only, no chunk CRC sweep. The
+    // bytes-read line demonstrates how little of the file a directory
+    // lookup touches.
+    const SchedBinReader reader = SchedBinReader::open_file(args.inspect);
+    print_info(reader.info());
+    print_directory(reader);
+    std::cerr << "mmap: read " << reader.bytes_read() << " of "
+              << reader.total_bytes() << " bytes\n";
+    return 0;
+  }
+  const std::string bytes = read_file(args.inspect);
+  print_info(schedbin_inspect(bytes));  // validates every chunk CRC
+  print_directory(SchedBinReader::from_bytes(bytes));
   return 0;
 }
 
-/// xml<->schedbin conversion. The direction is inferred from the input
-/// content; path schedules resolve their routes against the topology built
-/// from the usual flags.
+/// Format conversion. xml<->schedbin direction is inferred from the input
+/// content (path schedules resolve their routes against the topology built
+/// from the usual flags); a schedbin input with --format schedbin is
+/// transcoded to the requested codec/version without touching the word
+/// stream, carrying the source frame's metadata through losslessly instead
+/// of re-deriving provenance from this invocation.
 int run_convert(const Args& args) {
-  const std::string input = read_file(args.convert_in);
+  std::optional<MmapFile> map;
+  std::string buf;
+  std::string_view input;
+  if (args.mmap) {
+    map.emplace(args.convert_in);
+    input = map->view();
+  } else {
+    buf = read_file(args.convert_in);
+    input = buf;
+  }
   ThreadPool pool;
   std::string output;
   if (is_schedbin(input)) {
-    const SchedBinInfo info = schedbin_inspect(input);
-    if (info.kind == SchedBinKind::kLink) {
-      output = link_schedule_to_xml(link_schedule_from_schedbin(input, &pool));
+    if (args.format == "schedbin") {
+      output = schedbin_convert(input, bin_options_from(args, &pool));
+      std::cerr << "schedbin -> schedbin (" << args.codec << ", v"
+                << (args.schedbin_v1 ? 1 : 2)
+                << (args.schedbin_v1 ? ", metadata dropped — v1 cannot carry it"
+                                     : ", metadata preserved")
+                << ")\n";
     } else {
-      const DiGraph g = build_topology(args);
-      output = path_schedule_to_xml(g, path_schedule_from_schedbin(g, input, &pool));
+      const SchedBinInfo info = schedbin_inspect(input);
+      if (info.kind == SchedBinKind::kLink) {
+        output = link_schedule_to_xml(link_schedule_from_schedbin(input, &pool));
+      } else {
+        const DiGraph g = build_topology(args);
+        output =
+            path_schedule_to_xml(g, path_schedule_from_schedbin(g, input, &pool));
+      }
+      std::cerr << "schedbin -> xml\n";
     }
-    std::cerr << "schedbin -> xml\n";
   } else {
-    SchedBinOptions options;
-    options.codec = codec_from_name(args.codec);
-    options.pool = &pool;
+    const SchedBinOptions options = bin_options_from(args, &pool);
     // Peek at the XML root to pick the dialect.
     if (input.find("<linkschedule") != std::string::npos) {
-      output = link_schedule_to_schedbin(link_schedule_from_xml(input), options);
+      output = link_schedule_to_schedbin(link_schedule_from_xml(std::string(input)),
+                                         options);
     } else if (input.find("<pathschedule") != std::string::npos) {
       const DiGraph g = build_topology(args);
-      output = path_schedule_to_schedbin(g, path_schedule_from_xml(g, input),
-                                         options);
+      output = path_schedule_to_schedbin(
+          g, path_schedule_from_xml(g, std::string(input)), options);
     } else {
       throw InvalidArgument("input is neither SchedBin nor a schedule XML: " +
                             args.convert_in);
@@ -226,6 +322,8 @@ int main(int argc, char** argv) {
       args.convert_out = value();
     }
     else if (flag == "--inspect") args.inspect = value();
+    else if (flag == "--mmap") args.mmap = true;
+    else if (flag == "--schedbin-v1") args.schedbin_v1 = true;
     else if (flag == "--report-only") args.report_only = true;
     else if (flag == "--help" || flag == "-h") {
       usage();
@@ -267,9 +365,17 @@ int main(int argc, char** argv) {
               << " GB/s)\n";
 
     ThreadPool pool;
-    SchedBinOptions bin_options;
-    bin_options.codec = codec_from_name(args.codec);
-    bin_options.pool = &pool;
+    SchedBinOptions bin_options = bin_options_from(args, &pool);
+    if (!args.schedbin_v1) {
+      // Provenance stamps carried in the v2 trailer; --convert transcodes
+      // preserve them instead of re-deriving from the converting process.
+      bin_options.metadata = {
+          {"generator", "a2a-schedgen"},
+          {"topology", args.topology},
+          {"fabric", args.fabric},
+          {"pipeline_invocation", std::to_string(pipeline_invocations())},
+      };
+    }
 
     std::string payload;
     if (result.path.has_value()) {
