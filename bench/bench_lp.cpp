@@ -1,19 +1,26 @@
 // LP-solver benchmark: sparse revised simplex (solve_lp) vs the dense
-// reference (solve_lp_dense) on the Fig. 7 algorithm-runtime LPs, plus the
-// warm-start Fig. 9-style disabled-link sweep comparing cold starts,
-// primal warm starts (feasibility restoration), and DUAL warm starts (the
-// dual simplex iterating directly on the still-dual-feasible basis).
+// reference (solve_lp_dense) on the Fig. 7 algorithm-runtime LPs — with the
+// sparse solver measured in three configurations: the PR 2/3 "legacy" setup
+// (product-form eta file, no presolve, exact ratio tests), Forrest–Tomlin
+// factor updates alone, and the full default (FT + presolve + Harris +
+// partial pricing) — plus the warm-start Fig. 9-style disabled-link sweep
+// comparing cold starts, primal warm starts (feasibility restoration), and
+// DUAL warm starts (the dual simplex iterating directly on the
+// still-dual-feasible basis).
 //
 // Usage:
 //   bench_lp [--smoke] [--json PATH]
 //
-// --smoke runs a reduced set and exits nonzero when (a) the two solvers
-// disagree on any objective beyond 1e-6, (b) the sparse solver fails to beat
-// the dense one on the largest smoke LP, (c) the warm-started sweep needs
-// more simplex iterations than cold starts, or (d) the dual-warm sweep
-// changes an objective or needs more iterations than cold starts — so
-// solver regressions fail CI loudly instead of rotting silently. --json
-// writes the measurements as a BENCH_lp.json trajectory point.
+// --smoke runs a reduced set and exits nonzero when (a) any two solver legs
+// disagree on an objective beyond 1e-6 (dense vs eta vs FT vs FT+presolve —
+// numeric drift in the new legs fails CI, not just the dual one), (b) the
+// sparse solver fails to beat the dense one on the largest smoke LP, (c) the
+// FT+presolve default loses to the legacy eta configuration on that LP,
+// (d) the warm-started sweep needs more simplex iterations than cold
+// starts, or (e) the dual-warm sweep changes an objective or needs more
+// iterations than cold starts — so solver regressions fail CI loudly
+// instead of rotting silently. --json writes the measurements as a
+// BENCH_lp.json trajectory point.
 #include "bench_util.hpp"
 
 #include <algorithm>
@@ -32,21 +39,52 @@ using namespace a2a::bench;
 
 namespace {
 
+/// The PR 2/PR 3 solver configuration, kept as the "before" side of the
+/// Forrest–Tomlin / presolve / Harris upgrade.
+SimplexOptions legacy_options() {
+  SimplexOptions o;
+  o.basis_update = LpBasisUpdate::kEta;
+  o.presolve = false;
+  o.harris_ratio = false;
+  o.partial_pricing_threshold = 0;
+  return o;
+}
+
+/// Forrest–Tomlin updates isolated: presolve and the ratio-test/pricing
+/// changes disabled, so the ft column measures the factor-update win alone.
+SimplexOptions ft_only_options() {
+  SimplexOptions o = legacy_options();
+  o.basis_update = LpBasisUpdate::kForrestTomlin;
+  return o;
+}
+
 struct Comparison {
   std::string name;
   double dense_seconds = 0.0;
-  double sparse_seconds = 0.0;
+  double legacy_seconds = 0.0;  ///< eta file, no presolve/Harris.
+  double ft_seconds = 0.0;      ///< Forrest–Tomlin alone.
+  double sparse_seconds = 0.0;  ///< full default: FT + presolve + Harris.
   double dense_objective = 0.0;
+  double legacy_objective = 0.0;
+  double ft_objective = 0.0;
   double sparse_objective = 0.0;
   long long dense_iterations = 0;
+  long long legacy_iterations = 0;
+  long long ft_iterations = 0;
   long long sparse_iterations = 0;
 
   [[nodiscard]] double speedup() const {
     return sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : 0.0;
   }
+  /// The tentpole number: FT + presolve + Harris vs the PR 3 configuration.
+  [[nodiscard]] double ft_presolve_speedup() const {
+    return sparse_seconds > 0.0 ? legacy_seconds / sparse_seconds : 0.0;
+  }
   [[nodiscard]] bool objectives_match() const {
-    return std::abs(dense_objective - sparse_objective) <=
-           1e-6 * std::max(1.0, std::abs(dense_objective));
+    const double tol = 1e-6 * std::max(1.0, std::abs(dense_objective));
+    return std::abs(dense_objective - legacy_objective) <= tol &&
+           std::abs(dense_objective - ft_objective) <= tol &&
+           std::abs(dense_objective - sparse_objective) <= tol;
   }
 };
 
@@ -57,6 +95,14 @@ Comparison compare(const std::string& name, const LpModel& model) {
   c.dense_seconds = dense.solve_seconds;
   c.dense_objective = dense.objective;
   c.dense_iterations = dense.iterations;
+  const LpSolution legacy = solve_lp(model, legacy_options());
+  c.legacy_seconds = legacy.solve_seconds;
+  c.legacy_objective = legacy.objective;
+  c.legacy_iterations = legacy.iterations;
+  const LpSolution ft = solve_lp(model, ft_only_options());
+  c.ft_seconds = ft.solve_seconds;
+  c.ft_objective = ft.objective;
+  c.ft_iterations = ft.iterations;
   const LpSolution sparse = solve_lp(model);
   c.sparse_seconds = sparse.solve_seconds;
   c.sparse_objective = sparse.objective;
@@ -159,15 +205,17 @@ int main(int argc, char** argv) {
   }
 
   // ---- report -------------------------------------------------------------
-  Table table({"LP", "dense_s", "sparse_s", "speedup", "dense_it", "sparse_it",
-               "obj_match"});
+  Table table({"LP", "dense_s", "eta_s", "ft_s", "ft+pre_s", "vs_dense",
+               "vs_eta", "it", "obj_match"});
   for (const auto& c : comparisons) {
     table.row()
         .cell(c.name)
         .cell(c.dense_seconds, 4)
+        .cell(c.legacy_seconds, 4)
+        .cell(c.ft_seconds, 4)
         .cell(c.sparse_seconds, 4)
         .cell(c.speedup(), 2)
-        .cell(c.dense_iterations)
+        .cell(c.ft_presolve_speedup(), 2)
         .cell(c.sparse_iterations)
         .cell(c.objectives_match() ? "yes" : "NO");
   }
@@ -188,9 +236,14 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < comparisons.size(); ++i) {
       const auto& c = comparisons[i];
       js << "    {\"lp\": \"" << c.name << "\", \"dense_seconds\": "
-         << c.dense_seconds << ", \"sparse_seconds\": " << c.sparse_seconds
+         << c.dense_seconds << ", \"eta_seconds\": " << c.legacy_seconds
+         << ", \"ft_seconds\": " << c.ft_seconds
+         << ", \"sparse_seconds\": " << c.sparse_seconds
          << ", \"speedup\": " << c.speedup()
+         << ", \"ft_presolve_speedup\": " << c.ft_presolve_speedup()
          << ", \"dense_iterations\": " << c.dense_iterations
+         << ", \"eta_iterations\": " << c.legacy_iterations
+         << ", \"ft_iterations\": " << c.ft_iterations
          << ", \"sparse_iterations\": " << c.sparse_iterations
          << ", \"objective\": " << c.sparse_objective << "}"
          << (i + 1 < comparisons.size() ? ",\n" : "\n");
@@ -274,7 +327,9 @@ int main(int argc, char** argv) {
   if (smoke) {
     // Perf gate on the slowest dense LP measured: the sparse solver must
     // win decisively there (it wins by >5x in practice; 1.5x absorbs CI
-    // noise).
+    // noise), and the FT+presolve default must not LOSE to the legacy eta
+    // configuration (it wins by >1.3x on the large LPs; 0.9x absorbs noise
+    // on the small smoke sizes).
     const auto big = std::max_element(
         comparisons.begin(), comparisons.end(),
         [](const Comparison& a, const Comparison& b) {
@@ -283,6 +338,11 @@ int main(int argc, char** argv) {
     if (big != comparisons.end() && big->speedup() < 1.5) {
       std::cerr << "FAIL: sparse speedup " << big->speedup()
                 << "x below the 1.5x smoke floor on " << big->name << "\n";
+      failed = true;
+    }
+    if (big != comparisons.end() && big->ft_presolve_speedup() < 0.9) {
+      std::cerr << "FAIL: FT+presolve speedup " << big->ft_presolve_speedup()
+                << "x below the 0.9x smoke floor on " << big->name << "\n";
       failed = true;
     }
   }

@@ -242,6 +242,38 @@ LpStatus SimplexCore::iterate_dual() {
       entering_ratio = c.ratio;
       break;
     }
+    if (options_.harris_ratio && !bland && entering >= 0) {
+      // Harris two-pass refinement over the unflipped tail: pass 1 relaxes
+      // each candidate's ratio by the dual feasibility tolerance scaled by
+      // its pivot; pass 2 enters the LARGEST pivot whose exact ratio fits
+      // under that relaxed bound. Candidates crossed within the window keep
+      // a tolerance-bounded dual infeasibility (clamped to zero in later
+      // ratio tests and polished by the primal at the end) — the standard
+      // Harris trade of a whisker of dual feasibility for pivot stability.
+      const double dtol = options_.optimality_tol;
+      double theta_rel = kInfinity;
+      for (std::size_t c = passed; c < candidates.size(); ++c) {
+        theta_rel = std::min(
+            theta_rel,
+            candidates[c].ratio + dtol / std::abs(candidates[c].row_value));
+      }
+      double best_piv = std::abs(candidates[passed].row_value);
+      for (std::size_t c = passed + 1; c < candidates.size(); ++c) {
+        if (candidates[c].ratio > theta_rel) continue;
+        const double piv = std::abs(candidates[c].row_value);
+        if (piv <= best_piv) continue;
+        // Keep the absorption walk's vetting: a boxed candidate whose whole
+        // range cannot close the remaining infeasibility would re-create
+        // the violation it is meant to fix — only unboxed columns or ones
+        // wide enough to absorb `remaining` may displace the walk's choice.
+        const double range = up_[static_cast<std::size_t>(candidates[c].j)] -
+                             lo_[static_cast<std::size_t>(candidates[c].j)];
+        if (range < kInfinity && piv * range < remaining - ftol) continue;
+        best_piv = piv;
+        entering = candidates[c].j;
+        entering_ratio = candidates[c].ratio;
+      }
+    }
     if (entering < 0) {
       // Even flipping every candidate cannot restore the row: primal
       // infeasible territory — let the primal fallback decide.
@@ -347,8 +379,7 @@ LpStatus SimplexCore::iterate_dual() {
 
     ++iterations_;
     fresh = false;
-    append_eta(leaving_row, alpha);
-    if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
+    if (update_factors(leaving_row, alpha) ||
         std::abs(alpha_r) < options_.refactor_pivot_tol) {
       refactorize();
       fresh = true;

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "lp/presolve.hpp"
 #include "lp/simplex_core.hpp"
 
 namespace a2a {
@@ -206,8 +207,7 @@ bool SimplexCore::restore_feasibility() {
     basic_[static_cast<std::size_t>(leaving_row)] = entering;
     state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
     x_basic_[static_cast<std::size_t>(leaving_row)] = enter_value;
-    append_eta(leaving_row, alpha);
-    if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
+    if (update_factors(leaving_row, alpha) ||
         std::abs(alpha_r) < options_.refactor_pivot_tol) {
       refactorize();
     }
@@ -229,28 +229,55 @@ LpStatus SimplexCore::iterate_primal() {
   bool freshly_priced = false;
   while (iterations_ < options_.max_iterations) {
     // ---- pricing: Devex on maintained reduced costs -------------------
+    // Wide models (the 50k-column pMCF masters) use sectioned PARTIAL
+    // pricing: scan rotating windows of the column range and stop at the
+    // first window holding an attractive candidate, so a pivot prices a
+    // fraction of the columns instead of all of them. The cursor state is
+    // deterministic, preserving run-to-run pivot sequences.
     if (bland) recompute_reduced_costs();
     int entering = -1;
     int direction = +1;
     double best_score = 0.0;
-    for (int j = 0; j < num_vars(); ++j) {
-      const VarState st = state_[j];
-      if (st == VarState::kBasic) continue;
-      if (fixed(j)) continue;
-      const double dj = d_[j];
+    const int nv = num_vars();
+    const auto price = [&](int j) {
+      const VarState st = state_[static_cast<std::size_t>(j)];
+      if (st == VarState::kBasic) return;
+      if (fixed(j)) return;
+      const double dj = d_[static_cast<std::size_t>(j)];
       const double viol = st == VarState::kAtLower ? -dj : dj;
-      if (viol <= options_.optimality_tol) continue;
-      if (bland) {  // lowest index wins — guarantees termination
-        entering = j;
-        direction = st == VarState::kAtLower ? +1 : -1;
-        break;
-      }
-      const double score = viol * viol / weight_[j];
+      if (viol <= options_.optimality_tol) return;
+      const double score = viol * viol / weight_[static_cast<std::size_t>(j)];
       if (score > best_score) {
         best_score = score;
         entering = j;
         direction = st == VarState::kAtLower ? +1 : -1;
       }
+    };
+    if (bland) {
+      for (int j = 0; j < nv; ++j) {  // lowest index wins — guarantees termination
+        const VarState st = state_[static_cast<std::size_t>(j)];
+        if (st == VarState::kBasic || fixed(j)) continue;
+        const double dj = d_[static_cast<std::size_t>(j)];
+        const double viol = st == VarState::kAtLower ? -dj : dj;
+        if (viol <= options_.optimality_tol) continue;
+        entering = j;
+        direction = st == VarState::kAtLower ? +1 : -1;
+        break;
+      }
+    } else if (options_.partial_pricing_threshold > 0 &&
+               nv > options_.partial_pricing_threshold) {
+      const int section = std::max(1024, nv / 16);
+      int j = pricing_cursor_ < nv ? pricing_cursor_ : 0;
+      for (int scanned = 0; scanned < nv && entering < 0;) {
+        const int stop = std::min(scanned + section, nv);
+        for (; scanned < stop; ++scanned, ++j) {
+          if (j >= nv) j -= nv;
+          price(j);
+        }
+      }
+      if (entering >= 0) pricing_cursor_ = j >= nv ? j - nv : j;
+    } else {
+      for (int j = 0; j < nv; ++j) price(j);
     }
     if (entering < 0) {
       // Maintained reduced costs can drift; confirm optimality on a fresh
@@ -287,41 +314,103 @@ LpStatus SimplexCore::iterate_primal() {
     freshly_priced = false;
 
     // ---- ratio test with bound flips ----------------------------------
-    // Ties (within drop_tol) break toward the larger pivot magnitude for
-    // stability, then toward the lower basic-variable index so degenerate
-    // optima resolve to the same vertex run after run.
+    // Harris two-pass (the default): pass 1 finds the best ratio with every
+    // bound relaxed by the feasibility tolerance; pass 2 picks the LARGEST
+    // pivot among rows whose exact ratio fits under that relaxed bound —
+    // trading a tolerance-bounded constraint violation for a numerically
+    // safe pivot, which is what kills the tiny-pivot stalls degenerate MCF
+    // bases produce. Under Bland's rule the exact single-pass test is kept
+    // (its termination guarantee needs the true minimum ratio). Ties break
+    // toward the larger pivot magnitude, then the lower basic-variable
+    // index, so degenerate optima resolve to the same vertex run after run.
     const double dir = static_cast<double>(direction);
     double limit = up_[static_cast<std::size_t>(entering)] -
                    lo_[static_cast<std::size_t>(entering)];
     int leaving_row = -1;
     bool leaving_to_upper = false;
-    const auto prefer = [&](double t, double wi, int i) {
-      if (t < limit - options_.drop_tol) return true;
-      if (t >= limit + options_.drop_tol || leaving_row < 0) return false;
-      const double w_cur =
-          std::abs(dir * alpha[static_cast<std::size_t>(leaving_row)]);
-      const double w_new = std::abs(wi);
-      if (w_new > w_cur + options_.drop_tol) return true;
-      if (w_new < w_cur - options_.drop_tol) return false;
-      return basic_[static_cast<std::size_t>(i)] <
-             basic_[static_cast<std::size_t>(leaving_row)];
-    };
-    for (int i = 0; i < m_; ++i) {
-      const double wi = dir * alpha[i];
-      const int bj = basic_[i];
-      if (wi > options_.pivot_tol) {
-        const double t = (x_basic_[i] - lo_[static_cast<std::size_t>(bj)]) / wi;
-        if (prefer(t, wi, i)) {
-          limit = std::max(t, 0.0);
-          leaving_row = i;
-          leaving_to_upper = false;
+    if (options_.harris_ratio && !bland) {
+      const double ftol = options_.feasibility_tol;
+      double theta_rel = limit;
+      for (int i = 0; i < m_; ++i) {
+        const double wi = dir * alpha[i];
+        const int bj = basic_[i];
+        if (wi > options_.pivot_tol) {
+          const double lob = lo_[static_cast<std::size_t>(bj)];
+          const double t =
+              (x_basic_[i] - lob + ftol * std::max(1.0, std::abs(lob))) / wi;
+          theta_rel = std::min(theta_rel, t);
+        } else if (wi < -options_.pivot_tol &&
+                   up_[static_cast<std::size_t>(bj)] < kInfinity) {
+          const double upb = up_[static_cast<std::size_t>(bj)];
+          const double t =
+              (upb - x_basic_[i] + ftol * std::max(1.0, std::abs(upb))) / (-wi);
+          theta_rel = std::min(theta_rel, t);
         }
-      } else if (wi < -options_.pivot_tol && up_[static_cast<std::size_t>(bj)] < kInfinity) {
-        const double t = (up_[static_cast<std::size_t>(bj)] - x_basic_[i]) / (-wi);
-        if (prefer(t, wi, i)) {
-          limit = std::max(t, 0.0);
+      }
+      if (theta_rel < limit) {
+        double best_piv = 0.0;
+        double chosen_t = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          const double wi = dir * alpha[i];
+          const int bj = basic_[i];
+          double t;
+          bool to_upper;
+          if (wi > options_.pivot_tol) {
+            t = (x_basic_[i] - lo_[static_cast<std::size_t>(bj)]) / wi;
+            to_upper = false;
+          } else if (wi < -options_.pivot_tol &&
+                     up_[static_cast<std::size_t>(bj)] < kInfinity) {
+            t = (up_[static_cast<std::size_t>(bj)] - x_basic_[i]) / (-wi);
+            to_upper = true;
+          } else {
+            continue;
+          }
+          if (t > theta_rel) continue;
+          const double piv = std::abs(wi);
+          if (leaving_row >= 0 && piv < best_piv - options_.drop_tol) continue;
+          if (leaving_row >= 0 && piv <= best_piv + options_.drop_tol &&
+              basic_[i] >= basic_[static_cast<std::size_t>(leaving_row)]) {
+            continue;
+          }
+          best_piv = std::max(piv, best_piv);
           leaving_row = i;
-          leaving_to_upper = true;
+          leaving_to_upper = to_upper;
+          chosen_t = t;
+        }
+        // Pass 2 is nonempty whenever pass 1 tightened the bound (the
+        // argmin row's exact ratio is strictly below its relaxed one), so
+        // this guard only defends against floating-point surprises.
+        if (leaving_row >= 0) limit = std::max(chosen_t, 0.0);
+      }
+    } else {
+      const auto prefer = [&](double t, double wi, int i) {
+        if (t < limit - options_.drop_tol) return true;
+        if (t >= limit + options_.drop_tol || leaving_row < 0) return false;
+        const double w_cur =
+            std::abs(dir * alpha[static_cast<std::size_t>(leaving_row)]);
+        const double w_new = std::abs(wi);
+        if (w_new > w_cur + options_.drop_tol) return true;
+        if (w_new < w_cur - options_.drop_tol) return false;
+        return basic_[static_cast<std::size_t>(i)] <
+               basic_[static_cast<std::size_t>(leaving_row)];
+      };
+      for (int i = 0; i < m_; ++i) {
+        const double wi = dir * alpha[i];
+        const int bj = basic_[i];
+        if (wi > options_.pivot_tol) {
+          const double t = (x_basic_[i] - lo_[static_cast<std::size_t>(bj)]) / wi;
+          if (prefer(t, wi, i)) {
+            limit = std::max(t, 0.0);
+            leaving_row = i;
+            leaving_to_upper = false;
+          }
+        } else if (wi < -options_.pivot_tol && up_[static_cast<std::size_t>(bj)] < kInfinity) {
+          const double t = (up_[static_cast<std::size_t>(bj)] - x_basic_[i]) / (-wi);
+          if (prefer(t, wi, i)) {
+            limit = std::max(t, 0.0);
+            leaving_row = i;
+            leaving_to_upper = true;
+          }
         }
       }
     }
@@ -381,8 +470,7 @@ LpStatus SimplexCore::iterate_primal() {
       if (weights_blown) {
         weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
       }
-      append_eta(leaving_row, alpha);
-      if (static_cast<int>(eta_row_.size()) >= options_.eta_limit ||
+      if (update_factors(leaving_row, alpha) ||
           std::abs(alpha_r) < options_.refactor_pivot_tol) {
         refactorize();
       }
@@ -401,10 +489,13 @@ LpStatus SimplexCore::iterate_primal() {
 
 }  // namespace lp_detail
 
-LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
-                    const LpBasis* warm_start, LpWarmMode warm_mode) {
-  A2A_REQUIRE(model.num_rows() > 0, "LP with no constraints");
-  A2A_REQUIRE(model.num_variables() > 0, "LP with no variables");
+namespace {
+
+/// The warm-mode dispatch between the primal and dual drivers, on the model
+/// as given (presolve and the numerical-collapse fallback live in
+/// solve_lp()).
+LpSolution solve_lp_direct(const LpModel& model, const SimplexOptions& options,
+                           const LpBasis* warm_start, LpWarmMode warm_mode) {
   if (warm_start != nullptr) {
     lp_detail::SimplexCore solver(model, options, warm_start);
     if (!solver.warm_started()) {
@@ -437,6 +528,77 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
   }
   lp_detail::SimplexCore solver(model, options, nullptr);
   return solver.run_primal(model);
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
+                    const LpBasis* warm_start, LpWarmMode warm_mode) {
+  A2A_REQUIRE(model.num_rows() > 0, "LP with no constraints");
+  A2A_REQUIRE(model.num_variables() > 0, "LP with no variables");
+  if (options.presolve) {
+    const auto start = std::chrono::steady_clock::now();
+    Presolve pre;
+    const Presolve::Result res = pre.run(model, options);
+    if (res != Presolve::Result::kUnchanged) {
+      LpSolution out;
+      switch (res) {
+        case Presolve::Result::kInfeasible:
+          out.status = LpStatus::kInfeasible;
+          out.values.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+          break;
+        case Presolve::Result::kUnbounded:
+          out.status = LpStatus::kUnbounded;
+          out.values.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+          break;
+        case Presolve::Result::kSolved: {
+          // Everything reduced away; the optimum is the postsolve of an
+          // empty solution (all columns at their parked bounds).
+          LpSolution trivially_optimal;
+          trivially_optimal.status = LpStatus::kOptimal;
+          pre.postsolve(model, trivially_optimal, &out);
+          break;
+        }
+        case Presolve::Result::kReduced: {
+          // Solve the reduced model (recursively, with presolve off) and
+          // lift values + basis back to the full space. A warm basis is
+          // projected into the reduced space when it survives the mapping;
+          // the exported basis always covers the full model, so warm starts
+          // thread through presolved re-solves exactly as before.
+          SimplexOptions inner = options;
+          inner.presolve = false;
+          LpBasis mapped;
+          const LpBasis* seed = warm_start != nullptr && !warm_start->empty() &&
+                                        pre.map_warm_basis(*warm_start, &mapped)
+                                    ? &mapped
+                                    : nullptr;
+          const LpSolution rsol = solve_lp(pre.reduced(), inner, seed, warm_mode);
+          pre.postsolve(model, rsol, &out);
+          break;
+        }
+        case Presolve::Result::kUnchanged:
+          break;
+      }
+      out.solve_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      return out;
+    }
+  }
+  try {
+    return solve_lp_direct(model, options, warm_start, warm_mode);
+  } catch (const SolverError&) {
+    // Numerical collapse: drift-poisoned pivots can steer the basis into
+    // actual singularity (the refactorization throws). One cold retry on
+    // the conservative configuration — short-leash eta file, exact ratio
+    // tests — is the production-grade response; if even that cannot factor,
+    // the model itself is pathological and the error propagates.
+    SimplexOptions safe = options;
+    safe.basis_update = LpBasisUpdate::kEta;
+    safe.eta_limit = std::min(options.eta_limit, 64);
+    safe.harris_ratio = false;
+    return solve_lp_direct(model, safe, nullptr, warm_mode);
+  }
 }
 
 LpSolution solve_lp_warm(const LpModel& model, const SimplexOptions& options,

@@ -2,11 +2,13 @@
 //
 // This is the exact solver behind the MCF formulations (the role MOSEK plays
 // in the paper). Two implementations share this interface:
-//   * solve_lp() — the production sparse revised simplex: CSC constraint
-//     storage, sparse-LU basis factors kept alive with a product-form eta
-//     file (FTRAN/BTRAN are sparse triangular solves, no dense inverse),
-//     Devex pricing with incrementally maintained reduced costs, a
-//     bound-flip ratio test, and optional warm starts from a prior basis.
+//   * solve_lp() — the production sparse revised simplex: a presolve/
+//     postsolve layer (lp/presolve.hpp), CSC constraint storage, sparse-LU
+//     basis factors kept alive with Forrest–Tomlin updates (FTRAN/BTRAN are
+//     sparse triangular solves, no dense inverse), Devex pricing (sectioned
+//     partial pricing on wide models) with incrementally maintained reduced
+//     costs, a Harris two-pass bound-flip ratio test, and optional warm
+//     starts from a prior basis.
 //     Warm starts choose between the primal simplex (with in-place
 //     feasibility restoration) and a bounded-variable DUAL simplex that
 //     iterates directly on a still-dual-feasible basis — the natural engine
@@ -59,15 +61,66 @@ struct LpSolution {
   [[nodiscard]] bool optimal() const { return status == LpStatus::kOptimal; }
 };
 
+/// How the sparse solver keeps the basis factorization alive between
+/// refactorizations.
+///
+///   kForrestTomlin — update the LU factors in place (Forrest & Tomlin 1972):
+///                    each pivot swaps one U column for the partially solved
+///                    entering column and records ONE sparse row eta, so
+///                    FTRAN/BTRAN cost is bounded by U's sparsity instead of
+///                    growing by a full transformed column per pivot.
+///                    Refactorization triggers on fill growth or an unstable
+///                    transformed diagonal, not on a fixed pivot count.
+///   kEta           — the PR 2 product-form eta file, kept as the
+///                    cross-check reference (bench_lp's "before" side and the
+///                    eta-vs-FT differential tests).
+enum class LpBasisUpdate { kForrestTomlin, kEta };
+
 struct SimplexOptions {
   long long max_iterations = 2'000'000;
   /// Pivots between LU refactorizations (dense solver: product-form updates
   /// of the explicit inverse, refactorize rarely; flow bases stay accurate).
   int refactor_interval = 4000;
-  /// Sparse solver: eta-file length before the basis is refactorized. Each
+  /// Sparse solver: how the basis factors follow the pivots (see
+  /// LpBasisUpdate).
+  LpBasisUpdate basis_update = LpBasisUpdate::kForrestTomlin;
+  /// kEta only: eta-file length before the basis is refactorized. Each
   /// pivot appends one eta vector, so FTRAN/BTRAN cost grows linearly with
   /// this; sparse refactorization is cheap enough to keep it short.
   int eta_limit = 96;
+  /// kForrestTomlin only: hard backstop on updates between refactorizations.
+  /// Fill growth and diagonal stability are the adaptive triggers, but the
+  /// backstop also clamps x_basic_/reduced-cost drift (refactorization is
+  /// when both are recomputed): ill-conditioned tsMCF bases go numerically
+  /// singular when hundreds of pivots run without a refresh, so this stays
+  /// a small multiple of the old eta cadence.
+  int ft_update_limit = 192;
+  /// kForrestTomlin only: refactorize when the live U fill plus row-eta
+  /// entries exceed this multiple of the fresh factorization's fill — the
+  /// "FTRAN/BTRAN cost is growing" signal.
+  double refactor_fill_growth = 3.0;
+  /// kForrestTomlin only: an update whose transformed spike diagonal is
+  /// below this (relative to the spike's largest entry) is refused and the
+  /// basis refactorized instead.
+  double ft_diag_tol = 1e-9;
+  /// Run the presolve/postsolve layer (lp/presolve.hpp: fixed-variable and
+  /// empty/singleton row-column elimination, bound tightening) before the
+  /// simplex and map the solution and basis back afterwards. Warm-start
+  /// bases thread through: they are mapped into the reduced space on entry
+  /// and the exported basis covers the full original model.
+  bool presolve = true;
+  /// Use Harris two-pass ratio tests (Harris 1973) in the primal and dual
+  /// loops: pass 1 computes the best ratio with bounds relaxed by the
+  /// feasibility/optimality tolerance, pass 2 picks the largest pivot among
+  /// candidates within that relaxed bound — trading a bounded, tolerance-
+  /// sized constraint violation for numerically safer pivots and fewer
+  /// degenerate stalls on MCF bases.
+  bool harris_ratio = true;
+  /// Partial (sectioned) Devex pricing kicks in above this many columns:
+  /// the entering-candidate scan walks rotating sections of the column range
+  /// and stops at the first section containing an attractive candidate,
+  /// instead of pricing all 50k pMCF columns every pivot. 0 disables.
+  int partial_pricing_threshold = 4096;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-9;

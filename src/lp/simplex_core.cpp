@@ -12,7 +12,9 @@ namespace a2a::lp_detail {
 
 SimplexCore::SimplexCore(const LpModel& model, const SimplexOptions& options,
                          const LpBasis* warm_start)
-    : options_(options), m_(model.num_rows()) {
+    : options_(options),
+      m_(model.num_rows()),
+      use_ft_(options.basis_update == LpBasisUpdate::kForrestTomlin) {
   build(model, warm_start);
 }
 
@@ -98,7 +100,7 @@ bool SimplexCore::try_warm_start(const LpBasis& warm) {
   // factorization (build() skips its refactorize), on failure the cold
   // crash path refactorizes over it anyway.
   try {
-    lu_.factor(cols_, basic);
+    lu_.factor(cols_, basic, /*prepare_updates=*/use_ft_);
   } catch (const SolverError&) {
     return false;
   }
@@ -190,6 +192,7 @@ void SimplexCore::set_phase_costs(bool phase1) {
     work_cost_.resize(static_cast<std::size_t>(num_vars()), 0.0);
   }
   weight_.assign(static_cast<std::size_t>(num_vars()), 1.0);
+  pricing_cursor_ = 0;
   recompute_reduced_costs();
 }
 
@@ -223,8 +226,11 @@ bool SimplexCore::dual_feasible() const {
 // ---- linear algebra ---------------------------------------------------------
 
 /// x <- B^-1 x. Input indexed by row; output indexed by basis position.
-void SimplexCore::ftran_full(std::vector<double>& x) {
-  lu_.ftran(x, lu_scratch_);
+/// Forrest–Tomlin mode keeps the pivot history inside lu_; kEta mode applies
+/// the product-form eta file on top of the last factorization.
+void SimplexCore::ftran_full(std::vector<double>& x, bool save_spike) {
+  lu_.ftran(x, lu_scratch_, use_ft_ && save_spike ? &ft_spike_ : nullptr);
+  if (use_ft_) return;
   for (std::size_t e = 0; e < eta_row_.size(); ++e) {
     double& xr = x[static_cast<std::size_t>(eta_row_[e])];
     if (xr == 0.0) continue;
@@ -237,12 +243,14 @@ void SimplexCore::ftran_full(std::vector<double>& x) {
 
 /// y <- B^-T y. Input indexed by basis position; output indexed by row.
 void SimplexCore::btran_full(std::vector<double>& y) {
-  for (std::size_t e = eta_row_.size(); e-- > 0;) {
-    double t = y[static_cast<std::size_t>(eta_row_[e])];
-    for (int k = eta_ptr_[e]; k < eta_ptr_[e + 1]; ++k) {
-      t -= eta_val_[k] * y[static_cast<std::size_t>(eta_pos_[k])];
+  if (!use_ft_) {
+    for (std::size_t e = eta_row_.size(); e-- > 0;) {
+      double t = y[static_cast<std::size_t>(eta_row_[e])];
+      for (int k = eta_ptr_[e]; k < eta_ptr_[e + 1]; ++k) {
+        t -= eta_val_[k] * y[static_cast<std::size_t>(eta_pos_[k])];
+      }
+      y[static_cast<std::size_t>(eta_row_[e])] = t / eta_pivot_[e];
     }
-    y[static_cast<std::size_t>(eta_row_[e])] = t / eta_pivot_[e];
   }
   lu_.btran(y, lu_scratch_);
 }
@@ -252,7 +260,7 @@ void SimplexCore::compute_column(int j, std::vector<double>& alpha) {
   for (int k = cols_.col_begin(j); k < cols_.col_end(j); ++k) {
     alpha[static_cast<std::size_t>(cols_.entry_row(k))] += cols_.entry_value(k);
   }
-  ftran_full(alpha);
+  ftran_full(alpha, /*save_spike=*/true);
 }
 
 void SimplexCore::compute_pivot_row(int row, std::vector<double>& rho,
@@ -271,6 +279,22 @@ void SimplexCore::compute_pivot_row(int row, std::vector<double>& rho,
       accum[static_cast<std::size_t>(j)] += ri * csr_.entry_value(k);
     }
   }
+}
+
+bool SimplexCore::update_factors(int row, const std::vector<double>& alpha) {
+  if (use_ft_) {
+    // ft_spike_ was captured by the compute_column(entering) of this very
+    // pivot; no solves have touched it since.
+    if (!lu_.update(row, ft_spike_, options_.ft_diag_tol, options_.drop_tol)) {
+      return true;  // unstable transformed diagonal: refactorize
+    }
+    if (lu_.updates() >= options_.ft_update_limit) return true;
+    const auto base = static_cast<double>(std::max<std::size_t>(lu_.base_fill(), 64));
+    return static_cast<double>(lu_.update_work()) >
+           options_.refactor_fill_growth * base;
+  }
+  append_eta(row, alpha);
+  return static_cast<int>(eta_row_.size()) >= options_.eta_limit;
 }
 
 void SimplexCore::append_eta(int row, const std::vector<double>& alpha) {
@@ -295,10 +319,11 @@ void SimplexCore::clear_etas() {
   eta_ptr_.assign(1, 0);
 }
 
-/// Fresh LU of the current basis; resets the eta file and recomputes the
-/// basic values and reduced costs (bounding numerical drift).
+/// Fresh LU of the current basis; resets the pivot history (FT updates or
+/// eta file) and recomputes the basic values and reduced costs (bounding
+/// numerical drift).
 void SimplexCore::refactorize() {
-  lu_.factor(cols_, basic_);
+  lu_.factor(cols_, basic_, /*prepare_updates=*/use_ft_);
   clear_etas();
   // x_B = B^-1 (b - A_N x_N).
   std::vector<double> residual = rhs_;

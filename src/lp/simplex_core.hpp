@@ -2,10 +2,10 @@
 //
 // SimplexCore owns everything the primal and dual iteration loops have in
 // common: the CSC/CSR constraint storage in standard form, variable bounds
-// and phase costs, the basis arrays, the sparse LU kept alive by a
-// product-form eta file (FTRAN/BTRAN), warm-start basis import, reduced-cost
-// recomputation, and solution export. The two drivers live in separate
-// translation units:
+// and phase costs, the basis arrays, the sparse LU kept alive by
+// Forrest–Tomlin factor updates (or the legacy product-form eta file in
+// kEta mode), warm-start basis import, reduced-cost recomputation, and
+// solution export. The two drivers live in separate translation units:
 //   * simplex.cpp      — run_primal(): two-phase primal simplex with Devex
 //     pricing, the bound-flip ratio test, and artificial-free feasibility
 //     restoration for warm bases whose basic values moved out of bounds;
@@ -73,9 +73,14 @@ class SimplexCore {
   [[nodiscard]] double phase_objective() const;
 
   // ---- linear algebra (simplex_core.cpp) ----------------------------------
-  void ftran_full(std::vector<double>& x);
+  /// `save_spike` additionally captures the Forrest–Tomlin spike (the
+  /// partial solve before U) for a subsequent update_factors() of the same
+  /// column; only compute_column() sets it.
+  void ftran_full(std::vector<double>& x, bool save_spike = false);
   void btran_full(std::vector<double>& y);
-  /// alpha <- B^-1 A_j: dense scatter of column j, then a full FTRAN.
+  /// alpha <- B^-1 A_j: dense scatter of column j, then a full FTRAN. The
+  /// Forrest–Tomlin spike of column j is captured as a side effect, so a
+  /// pivot on j can update the factors without re-solving.
   void compute_column(int j, std::vector<double>& alpha);
   /// Row `row` of B^-1 A via rho = B^-T e_row and the CSR mirror: nonzeros
   /// accumulate into `accum` (which must be all-zero on entry) with their
@@ -83,6 +88,13 @@ class SimplexCore {
   void compute_pivot_row(int row, std::vector<double>& rho,
                          std::vector<double>& accum,
                          std::vector<int>& touched);
+  /// Folds the pivot (entering column `alpha`, basis position `row`) into
+  /// the live factorization: a Forrest–Tomlin update of the LU factors (the
+  /// default), or an appended product-form eta in kEta mode. Returns true
+  /// when the caller must refactorize — the FT update was refused as
+  /// unstable, fill grew past SimplexOptions::refactor_fill_growth, or the
+  /// update/eta count hit its backstop.
+  [[nodiscard]] bool update_factors(int row, const std::vector<double>& alpha);
   void append_eta(int row, const std::vector<double>& alpha);
   void clear_etas();
   void refactorize();
@@ -121,8 +133,12 @@ class SimplexCore {
 
   SparseLu lu_;
   std::vector<double> lu_scratch_;
-  // Product-form eta file (flat arrays): eta e replaces basis position
-  // eta_row_[e] with the FTRAN'd entering column.
+  const bool use_ft_;  ///< basis_update == kForrestTomlin.
+  /// Forrest–Tomlin spike of the last compute_column() (the partial FTRAN
+  /// before the U solve), consumed by update_factors() at the pivot.
+  std::vector<double> ft_spike_;
+  // kEta mode only — product-form eta file (flat arrays): eta e replaces
+  // basis position eta_row_[e] with the FTRAN'd entering column.
   std::vector<int> eta_row_;
   std::vector<double> eta_pivot_;
   std::vector<int> eta_ptr_{0};
@@ -132,6 +148,7 @@ class SimplexCore {
   std::vector<double> d_;       ///< maintained reduced costs (nonbasic).
   std::vector<double> weight_;  ///< Devex reference weights (primal, per column).
   std::vector<double> dual_weight_;  ///< dual Devex weights (per basis row).
+  int pricing_cursor_ = 0;  ///< partial-pricing scan position (primal).
 };
 
 }  // namespace a2a::lp_detail

@@ -107,10 +107,18 @@ TEST_P(EndToEnd, ScheduleSurvivesXmlRoundTripAndStillExecutes) {
 INSTANTIATE_TEST_SUITE_P(Families, EndToEnd, ::testing::Range(0, 8));
 
 TEST(EndToEnd, IterationLimitSurfacesAsStatus) {
+  // Two variables coupled through two rows so presolve cannot reduce the
+  // model away (a single boxed variable it would solve outright, and the
+  // iteration limit would never be consulted).
   LpModel m(Sense::kMaximize);
   const int x = m.add_variable(0, kInfinity, 1);
+  const int y = m.add_variable(0, kInfinity, 1);
   const int r = m.add_row(RowType::kLessEqual, 1);
   m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  const int r2 = m.add_row(RowType::kLessEqual, 0);
+  m.add_coefficient(r2, x, 1);
+  m.add_coefficient(r2, y, -1);
   SimplexOptions options;
   options.max_iterations = 0;
   EXPECT_EQ(solve_lp(m, options).status, LpStatus::kIterationLimit);
