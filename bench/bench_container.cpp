@@ -4,11 +4,15 @@
 // slurps, plus the schedule cache's effect on repeat generate_schedule()
 // calls.
 //
-//   bench_container          full sweep
-//   bench_container --smoke  one small case + hard assertions (CI gate):
-//                            dict beats rle/delta on the path schedule, and
-//                            an mmap single-chunk read touches a fraction
-//                            of the file. Nonzero exit on violation.
+//   bench_container                 full sweep
+//   bench_container --smoke         one small case + hard assertions (CI
+//                                   gate): dict beats rle/delta on the path
+//                                   schedule, and an mmap single-chunk read
+//                                   touches a fraction of the file. Nonzero
+//                                   exit on violation.
+//   bench_container --json PATH     append a BENCH_container.json trajectory
+//                                   record (headline ratios + the metrics
+//                                   registry snapshot for the run).
 #include "bench_util.hpp"
 
 #include <cstring>
@@ -88,7 +92,12 @@ std::string slurp(const std::filesystem::path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   ThreadPool pool;
   ToolchainOptions toolchain;
   toolchain.chunking = coarse_chunking();
@@ -258,6 +267,20 @@ int main(int argc, char** argv) {
   std::cout << "\ncache stats: " << cache.stats().hits() << " hits, "
             << cache.stats().misses << " misses ("
             << cache.memory_bytes() / 1024 << " KiB resident)\n";
+
+  if (!json_path.empty()) {
+    std::ostringstream js;
+    js << "{\n  \"benchmark\": \"bench_container\",\n  \"mode\": \""
+       << (smoke ? "smoke" : "full")
+       << "\",\n  \"worst_xml_delta_ratio\": " << worst_ratio
+       << ",\n  \"worst_delta_dict_gain\": " << worst_dict_gain
+       << ",\n  \"cache_hits\": " << cache.stats().hits()
+       << ",\n  \"cache_misses\": " << cache.stats().misses
+       << ",\n  \"failures\": " << failures
+       << ",\n  \"metrics\": " << metrics_snapshot_json() << "\n}\n";
+    append_bench_record(json_path, js.str());
+  }
+
   if (smoke) {
     std::cout << (failures == 0 ? "\nSMOKE OK\n" : "\nSMOKE FAILED\n");
   }

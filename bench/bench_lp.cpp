@@ -256,46 +256,8 @@ int main(int argc, char** argv) {
        << ", \"warm_iterations\": " << sweep.warm_iterations
        << ", \"dual_iterations\": " << sweep.dual_iterations
        << ", \"objectives_match\": " << (sweep.objectives_match ? "true" : "false")
-       << "}\n}\n";
-    // BENCH_lp.json is a trajectory: an array of run records, one appended
-    // per invocation. Splice into an existing array rather than truncating
-    // the history; anything else at the path is replaced by a fresh array.
-    std::string record = js.str();
-    while (!record.empty() && record.back() == '\n') record.pop_back();
-    std::string existing;
-    {
-      std::ifstream in(json_path);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      existing = buf.str();
-    }
-    while (!existing.empty() &&
-           std::isspace(static_cast<unsigned char>(existing.back()))) {
-      existing.pop_back();
-    }
-    std::string out_text;
-    if (!existing.empty() && existing.front() == '{' && existing.back() == '}') {
-      // Old-format file (the pre-trajectory bench wrote one bare object):
-      // migrate it as the array's first record instead of discarding it.
-      out_text = "[\n" + existing + ",\n" + record + "\n]\n";
-    } else if (!existing.empty() && existing.front() == '[' && existing.back() == ']') {
-      existing.pop_back();
-      while (!existing.empty() &&
-             std::isspace(static_cast<unsigned char>(existing.back()))) {
-        existing.pop_back();
-      }
-      // "[]" (an emptied history) splices to a leading comma; treat any
-      // array with no last record to attach to as a fresh file instead.
-      if (existing.size() > 1 && existing.back() == '}') {
-        out_text = existing + ",\n" + record + "\n]\n";
-      } else {
-        out_text = "[\n" + record + "\n]\n";
-      }
-    } else {
-      out_text = "[\n" + record + "\n]\n";
-    }
-    std::ofstream(json_path) << out_text;
-    std::cout << "appended to " << json_path << "\n";
+       << "},\n  \"metrics\": " << metrics_snapshot_json() << "\n}\n";
+    append_bench_record(json_path, js.str());
   }
 
   // ---- regression gate ----------------------------------------------------
@@ -343,6 +305,35 @@ int main(int argc, char** argv) {
     if (big != comparisons.end() && big->ft_presolve_speedup() < 0.9) {
       std::cerr << "FAIL: FT+presolve speedup " << big->ft_presolve_speedup()
                 << "x below the 0.9x smoke floor on " << big->name << "\n";
+      failed = true;
+    }
+  }
+  if (smoke && obs::compiled_in()) {
+    // Observability overhead gate: with metrics enabled, a smoke LP must
+    // solve within 3% of the runtime-disabled path (plus a 20 ms absolute
+    // floor so timer noise on sub-millisecond solves cannot trip the gate).
+    // Min-of-reps on both sides filters scheduler jitter.
+    const DiGraph g = make_generalized_kautz(10, 4);
+    const LpModel model = build_link_mcf_model(g, TerminalPairs(all_nodes(g)));
+    const auto min_solve_seconds = [&](int reps) {
+      double best = 1e30;
+      for (int r = 0; r < reps; ++r) {
+        best = std::min(best, solve_lp(model).solve_seconds);
+      }
+      return best;
+    };
+    (void)min_solve_seconds(1);  // warm code and allocator before either leg
+    obs::set_metrics_enabled(false);
+    const double disabled_min = min_solve_seconds(5);
+    obs::set_metrics_enabled(true);
+    const double enabled_min = min_solve_seconds(5);
+    const double limit = std::max(disabled_min * 1.03, disabled_min + 0.02);
+    std::cout << "metrics overhead: disabled " << disabled_min
+              << "s, enabled " << enabled_min << "s (limit " << limit
+              << "s)\n";
+    if (enabled_min > limit) {
+      std::cerr << "FAIL: metrics-enabled solve (" << enabled_min
+                << "s) exceeds the overhead limit (" << limit << "s)\n";
       failed = true;
     }
   }

@@ -1,15 +1,19 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
 #include "graph/topologies.hpp"
 #include "mcf/decomposed.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/ct_simulator.hpp"
 #include "runtime/sf_simulator.hpp"
 #include "schedule/compile_link.hpp"
@@ -59,6 +63,60 @@ inline std::string human_bytes(double bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.0f%s", bytes, units[u]);
   return buf;
+}
+
+/// The global metrics registry as an embeddable JSON value (a flat object,
+/// no trailing newline) so BENCH_*.json records carry the run's telemetry.
+inline std::string metrics_snapshot_json() {
+  std::string json = obs::MetricsRegistry::global().to_json();
+  while (!json.empty() &&
+         std::isspace(static_cast<unsigned char>(json.back()))) {
+    json.pop_back();
+  }
+  return json;
+}
+
+/// Appends one JSON object `record` to the trajectory array at `json_path`.
+/// BENCH_*.json files are histories — an array of run records, one appended
+/// per invocation — so this splices into an existing array rather than
+/// truncating it. A legacy bare-object file is migrated as the array's first
+/// record; anything else at the path is replaced by a fresh array.
+inline void append_bench_record(const std::string& json_path,
+                                std::string record) {
+  while (!record.empty() && record.back() == '\n') record.pop_back();
+  std::string existing;
+  {
+    std::ifstream in(json_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = buf.str();
+  }
+  while (!existing.empty() &&
+         std::isspace(static_cast<unsigned char>(existing.back()))) {
+    existing.pop_back();
+  }
+  std::string out_text;
+  if (!existing.empty() && existing.front() == '{' && existing.back() == '}') {
+    out_text = "[\n" + existing + ",\n" + record + "\n]\n";
+  } else if (!existing.empty() && existing.front() == '[' &&
+             existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           std::isspace(static_cast<unsigned char>(existing.back()))) {
+      existing.pop_back();
+    }
+    // "[]" (an emptied history) splices to a leading comma; treat any array
+    // with no last record to attach to as a fresh file instead.
+    if (existing.size() > 1 && existing.back() == '}') {
+      out_text = existing + ",\n" + record + "\n]\n";
+    } else {
+      out_text = "[\n" + record + "\n]\n";
+    }
+  } else {
+    out_text = "[\n" + record + "\n]\n";
+  }
+  std::ofstream(json_path) << out_text;
+  std::cout << "appended to " << json_path << "\n";
 }
 
 /// Builds a PathSchedule from single routes (one per commodity).

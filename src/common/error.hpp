@@ -30,11 +30,37 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// Context a solver failure carries so drift-induced singularity reports are
+/// actionable: where the run was when it died, not just that it died.
+struct SolverErrorContext {
+  long long iterations = -1;        ///< simplex iterations completed (-1: unknown).
+  long long refactorizations = -1;  ///< basis refactorizations completed.
+  const char* phase = "";  ///< "phase1", "primal", "dual", "restore", ...
+};
+
 /// Thrown by the LP solver for infeasible/unbounded models when the caller
-/// asked for a guaranteed-optimal solution.
+/// asked for a guaranteed-optimal solution, and for numerical breakdowns
+/// (singular basis after drift). The optional context records how far the
+/// solve got; what() includes it when present.
 class SolverError : public Error {
  public:
   explicit SolverError(const std::string& what) : Error(what) {}
+  SolverError(const std::string& what, const SolverErrorContext& context)
+      : Error(with_context(what, context)), context_(context) {}
+
+  [[nodiscard]] const SolverErrorContext& context() const { return context_; }
+
+ private:
+  static std::string with_context(const std::string& what,
+                                  const SolverErrorContext& context) {
+    std::ostringstream os;
+    os << what << " [";
+    if (*context.phase != '\0') os << "phase=" << context.phase << ", ";
+    os << "iterations=" << context.iterations
+       << ", refactorizations=" << context.refactorizations << "]";
+    return os.str();
+  }
+  SolverErrorContext context_;
 };
 
 namespace detail {

@@ -1,7 +1,10 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "obs/metrics.hpp"
 
 namespace a2a {
 
@@ -35,7 +38,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    A2A_GAUGE("pool.queue_depth").sub(1);
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    A2A_HISTOGRAM("pool.task_seconds")
+        .observe_seconds(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - task_start)
+                             .count());
   }
 }
 
@@ -93,6 +102,8 @@ void ThreadPool::parallel_for(std::size_t count,
     std::lock_guard lock(mutex_);
     for (std::size_t t = 0; t < n_tasks; ++t) queue_.push(body);
   }
+  A2A_COUNTER("pool.tasks").add(n_tasks);
+  A2A_GAUGE("pool.queue_depth").add(static_cast<std::int64_t>(n_tasks));
   cv_.notify_all();
 
   {

@@ -1,6 +1,7 @@
 #include "container/schedbin.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "common/thread_pool.hpp"
 #include "common/varint.hpp"
 #include "container/columnar.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace a2a {
 
@@ -101,6 +104,19 @@ std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
               "v1 frames cannot carry metadata — write version 2");
   check_metadata_limits(options.metadata);
   const std::size_t chunks = chunk_count(words.size(), options.chunk_words);
+  obs::TraceSpan span("stage.encode",
+                      std::string(codec_name(options.codec)) + ", " +
+                          std::to_string(chunks) + " chunks");
+  const auto encode_start = std::chrono::steady_clock::now();
+  A2A_COUNTER("schedbin.encode.calls").inc();
+  A2A_COUNTER("schedbin.encode.raw_bytes").add(words.size() * 8);
+  const auto finish_encode_metrics = [&](const std::string& frame) {
+    A2A_COUNTER("schedbin.encode.encoded_bytes").add(frame.size());
+    A2A_HISTOGRAM("schedbin.encode.seconds")
+        .observe_seconds(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - encode_start)
+                             .count());
+  };
 
   // The dict codec builds one dictionary over the whole frame, then every
   // chunk keeps the smallest of its dict/rle/delta/raw encodings (per-chunk
@@ -150,6 +166,32 @@ std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
     for (std::size_t c = 0; c < chunks; ++c) compress_one(c);
   }
 
+  if (options.codec == SchedBinCodec::kDict) {
+    // Per-codec chunk tally, aggregated AFTER the parallel loop (the lambda
+    // runs on pool workers; scanning the result array here keeps the hot
+    // loop free of shared counters).
+    std::size_t by_codec[4] = {0, 0, 0, 0};
+    for (const SchedBinCodec c : chunk_codecs) {
+      ++by_codec[static_cast<std::size_t>(c)];
+    }
+    std::size_t fallbacks = 0;
+    for (const SchedBinCodec alt :
+         {SchedBinCodec::kRaw, SchedBinCodec::kRle, SchedBinCodec::kDelta}) {
+      const std::size_t n = by_codec[static_cast<std::size_t>(alt)];
+      fallbacks += n;
+      obs::MetricsRegistry::global()
+          .counter(std::string("schedbin.encode.chunks.") + codec_name(alt))
+          .add(n);
+    }
+    obs::MetricsRegistry::global()
+        .counter("schedbin.encode.chunks.dict")
+        .add(by_codec[static_cast<std::size_t>(SchedBinCodec::kDict)]);
+    A2A_COUNTER("schedbin.encode.chunk_fallbacks").add(fallbacks);
+    if (fallbacks > 0) {
+      span.annotate(std::to_string(fallbacks) + " chunk codec fallbacks");
+    }
+  }
+
   std::size_t payload_bytes = 0;
   for (const std::string& p : payloads) payload_bytes += p.size();
 
@@ -164,6 +206,7 @@ std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
       put_u32(out, crc32(p.data(), p.size()));
     }
     for (const std::string& p : payloads) out.append(p);
+    finish_encode_metrics(out);
     return out;
   }
 
@@ -200,6 +243,7 @@ std::string encode_container(SchedBinKind kind, int num_nodes, int num_steps,
   put_u32(out, crc32(trailer.data(), trailer.size()));
   put_u32(out, crc32(out.data(), kHeaderBytes));
   out.append(kSchedBinTrailerMagic, sizeof(kSchedBinTrailerMagic));
+  finish_encode_metrics(out);
   return out;
 }
 
@@ -452,6 +496,9 @@ std::vector<std::int64_t> decode_payload(std::string_view bytes,
                                          const ParsedContainer& pc,
                                          ThreadPool* pool) {
   const SchedBinInfo& info = pc.info;
+  A2A_TRACE_SPAN("schedbin.decode",
+                 std::to_string(info.num_chunks) + " chunks");
+  const auto decode_start = std::chrono::steady_clock::now();
   std::vector<std::int64_t> words(info.word_count);
   const auto decode_one = [&](std::size_t c) {
     decode_chunk_at(bytes, pc, c, words.data() + c * info.chunk_words);
@@ -461,6 +508,13 @@ std::vector<std::int64_t> decode_payload(std::string_view bytes,
   } else {
     for (std::size_t c = 0; c < info.num_chunks; ++c) decode_one(c);
   }
+  A2A_COUNTER("schedbin.decode.calls").inc();
+  A2A_COUNTER("schedbin.decode.payload_bytes").add(info.payload_bytes);
+  A2A_COUNTER("schedbin.decode.decoded_bytes").add(info.word_count * 8);
+  A2A_HISTOGRAM("schedbin.decode.seconds")
+      .observe_seconds(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - decode_start)
+                           .count());
   return words;
 }
 

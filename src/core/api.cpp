@@ -5,6 +5,8 @@
 
 #include "core/schedule_cache.hpp"
 #include "graph/algorithms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "graph/augment.hpp"
 #include "mcf/path_mcf.hpp"
 #include "mcf/timestepped.hpp"
@@ -58,6 +60,11 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
                                     const Fabric& fabric,
                                     const ToolchainOptions& options) {
   g_pipeline_invocations.fetch_add(1, std::memory_order_relaxed);
+  A2A_COUNTER("pipeline.runs").inc();
+  // The decision-flow annotations on this span record which Fig. 1 branch
+  // ran and why, so a trace answers "what did the toolchain decide" without
+  // reading this function.
+  obs::TraceSpan pipeline_span("pipeline.generate_schedule");
   GeneratedSchedule out;
   const int n = topology.num_nodes();
   const int degree = topology.max_out_degree();
@@ -65,9 +72,12 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
 
   if (!fabric.nic_forwarding) {
     // Link-based branch. Model the host bottleneck if injection < d*b.
+    pipeline_span.annotate("branch=link (NICs cannot forward)");
     DiGraph graph = topology;
     std::vector<NodeId> terminals = all_nodes(topology);
     if (fabric.injection_GBps < nic_bw) {
+      obs::TraceSpan augment_span(
+          "stage.augment", "host-bottleneck: injection_GBps < degree*link_GBps");
       const AugmentedGraph aug = augment_host_bottleneck(
           topology, fabric.injection_GBps / fabric.link_GBps);
       graph = aug.graph;
@@ -75,21 +85,37 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
       out.notes += "host-bottleneck augmentation applied; ";
     }
     if (n <= options.exact_tsmcf_limit) {
+      pipeline_span.annotate("solver=exact tsMCF (n <= exact_tsmcf_limit)");
       const int steps = diameter(graph) + 1;
-      const TsMcfSolution ts = solve_tsmcf_exact(graph, steps, terminals,
-                                                 options.mcf.lp);
+      const TsMcfSolution ts = [&] {
+        A2A_TRACE_SPAN("stage.solve", "exact tsMCF LP, " +
+                                          std::to_string(steps) + " steps");
+        return solve_tsmcf_exact(graph, steps, terminals, options.mcf.lp);
+      }();
       out.kind = ScheduleKind::kLinkTsMcf;
-      out.link = compile_tsmcf_schedule(graph, ts, options.chunking);
+      out.link = [&] {
+        A2A_TRACE_SPAN("stage.compile", "tsMCF link schedule");
+        return compile_tsmcf_schedule(graph, ts, options.chunking);
+      }();
       out.concurrent_flow = 1.0 / ts.total_utilization;
       out.notes += "exact tsMCF LP";
     } else {
-      const LinkFlowSolution flows =
-          solve_decomposed_mcf(graph, terminals, options.mcf);
-      const auto commodity_paths = paths_from_link_flows(graph, flows);
+      pipeline_span.annotate("solver=decomposed MCF (n > exact_tsmcf_limit)");
+      const LinkFlowSolution flows = [&] {
+        A2A_TRACE_SPAN("stage.solve", "decomposed MCF");
+        return solve_decomposed_mcf(graph, terminals, options.mcf);
+      }();
+      const auto commodity_paths = [&] {
+        A2A_TRACE_SPAN("stage.extract", "paths from link flows");
+        return paths_from_link_flows(graph, flows);
+      }();
       UnrollOptions uo;
       uo.chunking = options.chunking;
       out.kind = ScheduleKind::kLinkUnrolled;
-      out.link = unroll_rate_schedule(graph, commodity_paths, uo);
+      out.link = [&] {
+        A2A_TRACE_SPAN("stage.compile", "pipelined unroll");
+        return unroll_rate_schedule(graph, commodity_paths, uo);
+      }();
       out.concurrent_flow = flows.concurrent_flow;
       out.notes += "decomposed MCF + pipelined unroll";
     }
@@ -99,32 +125,58 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
   }
 
   // Path-based branch.
+  pipeline_span.annotate("branch=path (NIC forwarding)");
   const std::vector<NodeId> terminals = all_nodes(topology);
   const long long diversity = estimate_path_diversity(topology);
   PathSchedule schedule;
   if (diversity <= options.path_diversity_threshold) {
+    pipeline_span.annotate("solver=pMCF (path diversity " +
+                           std::to_string(diversity) + " <= threshold)");
     const PathSet candidates = build_disjoint_path_set(topology, terminals);
     if (n <= options.mcf.exact_master_limit) {
-      const PathMcfSolution sol = solve_path_mcf_exact(topology, candidates,
-                                                       options.mcf.lp);
-      schedule = compile_path_schedule(topology, candidates, sol.weights,
-                                       options.chunking);
+      const PathMcfSolution sol = [&] {
+        A2A_TRACE_SPAN("stage.solve", "exact pMCF LP");
+        return solve_path_mcf_exact(topology, candidates, options.mcf.lp);
+      }();
+      schedule = [&] {
+        A2A_TRACE_SPAN("stage.compile", "path schedule");
+        return compile_path_schedule(topology, candidates, sol.weights,
+                                     options.chunking);
+      }();
       out.concurrent_flow = sol.concurrent_flow;
     } else {
+      pipeline_span.annotate("pMCF master via Fleischer FPTAS (n > "
+                             "exact_master_limit)");
       FleischerOptions fo = options.mcf.fptas;
       fo.epsilon = options.mcf.fptas_epsilon;
-      const PathFlowSolution sol = fleischer_paths(topology, candidates, fo);
-      schedule = compile_path_schedule(topology, candidates, sol.weights,
-                                       options.chunking);
+      const PathFlowSolution sol = [&] {
+        A2A_TRACE_SPAN("stage.solve", "Fleischer FPTAS");
+        return fleischer_paths(topology, candidates, fo);
+      }();
+      schedule = [&] {
+        A2A_TRACE_SPAN("stage.compile", "path schedule");
+        return compile_path_schedule(topology, candidates, sol.weights,
+                                     options.chunking);
+      }();
       out.concurrent_flow = sol.concurrent_flow;
     }
     out.kind = ScheduleKind::kPathPMcf;
     out.notes = "pMCF on link-disjoint candidates";
   } else {
-    const LinkFlowSolution flows =
-        solve_decomposed_mcf(topology, terminals, options.mcf);
-    const auto commodity_paths = paths_from_link_flows(topology, flows);
-    schedule = compile_path_schedule(topology, commodity_paths, options.chunking);
+    pipeline_span.annotate("solver=MCF-extP (path diversity " +
+                           std::to_string(diversity) + " > threshold)");
+    const LinkFlowSolution flows = [&] {
+      A2A_TRACE_SPAN("stage.solve", "decomposed MCF");
+      return solve_decomposed_mcf(topology, terminals, options.mcf);
+    }();
+    const auto commodity_paths = [&] {
+      A2A_TRACE_SPAN("stage.extract", "widest-path extraction");
+      return paths_from_link_flows(topology, flows);
+    }();
+    schedule = [&] {
+      A2A_TRACE_SPAN("stage.compile", "path schedule");
+      return compile_path_schedule(topology, commodity_paths, options.chunking);
+    }();
     out.concurrent_flow = flows.concurrent_flow;
     out.kind = ScheduleKind::kPathExtracted;
     out.notes = "decomposed MCF + widest-path extraction (MCF-extP)";
@@ -133,6 +185,7 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
   if (out.vc_layers > options.vc_max_layers_warn) {
     out.notes += "; WARNING: needs " + std::to_string(out.vc_layers) + " VC layers";
   }
+  pipeline_span.annotate("vc_layers=" + std::to_string(out.vc_layers));
   out.path = std::move(schedule);
   out.terminals = terminals;
   out.schedule_graph = topology;

@@ -13,6 +13,8 @@
 
 #include "common/binio.hpp"
 #include "common/crc32.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace a2a {
 
@@ -366,11 +368,15 @@ std::string ScheduleCache::entry_path(const std::string& fingerprint) const {
 
 std::optional<GeneratedSchedule> ScheduleCache::lookup(
     const std::string& fingerprint) {
+  obs::TraceSpan span("cache.lookup");
+  A2A_COUNTER("cache.lookups").inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.lookups;
     if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
       ++stats_.memory_hits;
+      A2A_COUNTER("cache.memory_hits").inc();
+      span.annotate("memory hit");
       touch_locked(fingerprint);
       return it->second.schedule;
     }
@@ -396,6 +402,8 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
           }
           std::lock_guard<std::mutex> lock(mutex_);
           ++stats_.disk_hits;
+          A2A_COUNTER("cache.disk_hits").inc();
+          span.annotate("disk hit");
           insert_memory_locked(fingerprint, schedule);
           return schedule;
         } catch (const Error&) {
@@ -409,11 +417,15 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  A2A_COUNTER("cache.misses").inc();
+  span.annotate("miss");
   return std::nullopt;
 }
 
 void ScheduleCache::insert(const std::string& fingerprint,
                            const GeneratedSchedule& schedule) {
+  obs::TraceSpan span("cache.insert");
+  A2A_COUNTER("cache.insertions").inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.insertions;
@@ -431,6 +443,8 @@ void ScheduleCache::insert(const std::string& fingerprint,
     // and count the rejection for monitoring.
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.disk_oversize_rejections;
+    A2A_COUNTER("cache.disk_oversize_rejections").inc();
+    span.annotate("disk oversize rejection");
     return;
   }
   const std::string key = schedule_content_key(bytes);
@@ -466,11 +480,15 @@ void ScheduleCache::insert(const std::string& fingerprint,
       gc_disk();
     }
   }
+  if (disk_total_ >= 0) A2A_GAUGE("cache.disk_bytes").set(disk_total_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (wrote) {
     ++stats_.disk_writes;
+    A2A_COUNTER("cache.disk_writes").inc();
   } else {
     ++stats_.disk_dedups;
+    A2A_COUNTER("cache.disk_dedups").inc();
+    span.annotate("disk dedup");
   }
 }
 
@@ -524,6 +542,9 @@ void ScheduleCache::gc_disk() {
     ++evicted;
   }
   disk_total_ = static_cast<std::int64_t>(total);
+  A2A_COUNTER("cache.gc_runs").inc();
+  A2A_COUNTER("cache.disk_evictions").add(evicted);
+  A2A_GAUGE("cache.disk_bytes").set(disk_total_);
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.disk_evictions += evicted;
 }
@@ -558,6 +579,7 @@ void ScheduleCache::clear() {
   entries_.clear();
   lru_.clear();
   memory_bytes_ = 0;
+  A2A_GAUGE("cache.memory_bytes").set(0);
 }
 
 void ScheduleCache::touch_locked(const std::string& fingerprint) {
@@ -583,6 +605,8 @@ void ScheduleCache::insert_memory_locked(const std::string& fingerprint,
       memory_bytes_ -= it->second.bytes;
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
+      A2A_GAUGE("cache.memory_bytes")
+          .set(static_cast<std::int64_t>(memory_bytes_));
     }
     return;
   }
@@ -608,7 +632,10 @@ void ScheduleCache::evict_over_budget_locked() {
     entries_.erase(it);
     lru_.pop_back();
     ++stats_.memory_evictions;
+    A2A_COUNTER("cache.memory_evictions").inc();
   }
+  A2A_GAUGE("cache.memory_bytes")
+      .set(static_cast<std::int64_t>(memory_bytes_));
 }
 
 }  // namespace a2a

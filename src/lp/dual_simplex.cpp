@@ -67,11 +67,16 @@ LpSolution SimplexCore::run_dual(const LpModel& model) {
     work_cost_[j] += signed_eps;
     d_[j] += signed_eps;
   }
+  stats_.dual_used = true;
+  phase_ = "dual";
+  const long long before_dual = iterations_;
   out.status = iterate_dual();
+  stats_.dual_iterations += iterations_ - before_dual;
   if (out.status == LpStatus::kOptimal) {
     // Drop the perturbation and let the primal clean up the handful of
     // reduced costs whose sign it was carrying; the basis is primal
     // feasible now, so this is plain phase-2 polishing.
+    phase_ = "primal";
     set_phase_costs(/*phase1=*/false);
     out.status = iterate_primal();
   }
@@ -250,6 +255,7 @@ LpStatus SimplexCore::iterate_dual() {
       // a tolerance-bounded dual infeasibility (clamped to zero in later
       // ratio tests and polished by the primal at the end) — the standard
       // Harris trade of a whisker of dual feasibility for pivot stability.
+      ++stats_.harris_second_pass;
       const double dtol = options_.optimality_tol;
       double theta_rel = kInfinity;
       for (std::size_t c = passed; c < candidates.size(); ++c) {
@@ -391,6 +397,7 @@ LpStatus SimplexCore::iterate_dual() {
       degenerate_streak = 0;
       bland = false;
     } else if (++degenerate_streak > options_.degenerate_streak_limit) {
+      if (!bland) ++stats_.bland_episodes;
       bland = true;
     }
   }

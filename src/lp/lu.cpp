@@ -23,7 +23,9 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
       }
     }
     if (best < 1e-12) {
-      throw SolverError("singular basis matrix in LU factorization");
+      throw SolverError(detail::concat(
+          "singular basis matrix in dense LU factorization (elimination "
+          "column ", k, " of ", n, ", best pivot magnitude ", best, ")"));
     }
     if (pivot != k) {
       std::swap(perm_[k], perm_[pivot]);

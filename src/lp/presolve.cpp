@@ -268,6 +268,7 @@ void Presolve::postsolve(const LpModel& original, const LpSolution& reduced_sol,
   out->iterations = reduced_sol.iterations;
   out->solve_seconds = reduced_sol.solve_seconds;
   out->warm_started = reduced_sol.warm_started;
+  out->stats = reduced_sol.stats;
   out->values.assign(static_cast<std::size_t>(orig_vars_), 0.0);
   for (int j = 0; j < orig_vars_; ++j) {
     const int rj = var_map_.empty() ? -1 : var_map_[static_cast<std::size_t>(j)];

@@ -18,6 +18,7 @@
 
 #include "lp/presolve.hpp"
 #include "lp/simplex_core.hpp"
+#include "obs/metrics.hpp"
 
 namespace a2a {
 
@@ -31,6 +32,7 @@ LpSolution SimplexCore::run_primal(const LpModel& model) {
     // Warm basis adopted with out-of-bound basic values (e.g. the Fig. 9
     // sweep shrank capacities under the previous optimum). Artificial-free
     // composite phase 1: drive the infeasibility sum to zero in place.
+    phase_ = "restore";
     if (!restore_feasibility()) {
       warm_failed_ = true;
       out.status = LpStatus::kIterationLimit;
@@ -40,6 +42,7 @@ LpSolution SimplexCore::run_primal(const LpModel& model) {
     needs_restoration_ = false;
   }
   if (needs_phase1_) {
+    phase_ = "phase1";
     set_phase_costs(/*phase1=*/true);
     const LpStatus s = iterate_primal();
     if (s != LpStatus::kOptimal) {
@@ -56,6 +59,7 @@ LpSolution SimplexCore::run_primal(const LpModel& model) {
     // artificials at value 0 stay put (their rows are redundant).
     for (int j = n_structural_ + m_; j < num_vars(); ++j) up_[j] = 0.0;
   }
+  phase_ = "primal";
   set_phase_costs(/*phase1=*/false);
   out.status = iterate_primal();
   finish(out, model, start);
@@ -176,7 +180,10 @@ bool SimplexCore::restore_feasibility() {
       // A degenerate streak used to abort restoration here (surfacing as a
       // spurious solve failure); switching to Bland's rule breaks the cycle
       // and lets the repair finish. The pivot budget remains the backstop.
-      if (++degenerate_streak > options_.degenerate_streak_limit) bland = true;
+      if (++degenerate_streak > options_.degenerate_streak_limit) {
+        if (!bland) ++stats_.bland_episodes;
+        bland = true;
+      }
     } else {
       degenerate_streak = 0;
       bland = false;
@@ -348,6 +355,7 @@ LpStatus SimplexCore::iterate_primal() {
         }
       }
       if (theta_rel < limit) {
+        ++stats_.harris_second_pass;
         double best_piv = 0.0;
         double chosen_t = 0.0;
         for (int i = 0; i < m_; ++i) {
@@ -481,6 +489,7 @@ LpStatus SimplexCore::iterate_primal() {
       stall = 0;
       bland = false;
     } else if (++stall > options_.stall_limit) {
+      if (!bland) ++stats_.bland_episodes;
       bland = true;
     }
   }
@@ -530,12 +539,39 @@ LpSolution solve_lp_direct(const LpModel& model, const SimplexOptions& options,
   return solver.run_primal(model);
 }
 
+/// Presolve-reduced models recurse through solve_lp(); the depth guard keeps
+/// `lp.solves` counting user-visible solves, not engine invocations.
+thread_local int g_solve_depth = 0;
+
+void record_presolve_stats(const PresolveStats& ps, LpStats* stats) {
+  stats->presolve_fixed_variables += ps.fixed_variables;
+  stats->presolve_empty_columns += ps.empty_columns;
+  stats->presolve_empty_rows += ps.empty_rows;
+  stats->presolve_singleton_rows += ps.singleton_rows;
+  stats->presolve_tightened_bounds += ps.tightened_bounds;
+  A2A_COUNTER("lp.presolve.fixed_variables")
+      .add(static_cast<std::uint64_t>(ps.fixed_variables));
+  A2A_COUNTER("lp.presolve.empty_columns")
+      .add(static_cast<std::uint64_t>(ps.empty_columns));
+  A2A_COUNTER("lp.presolve.empty_rows")
+      .add(static_cast<std::uint64_t>(ps.empty_rows));
+  A2A_COUNTER("lp.presolve.singleton_rows")
+      .add(static_cast<std::uint64_t>(ps.singleton_rows));
+  A2A_COUNTER("lp.presolve.tightened_bounds")
+      .add(static_cast<std::uint64_t>(ps.tightened_bounds));
+}
+
 }  // namespace
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
                     const LpBasis* warm_start, LpWarmMode warm_mode) {
   A2A_REQUIRE(model.num_rows() > 0, "LP with no constraints");
   A2A_REQUIRE(model.num_variables() > 0, "LP with no variables");
+  struct DepthGuard {
+    DepthGuard() { ++g_solve_depth; }
+    ~DepthGuard() { --g_solve_depth; }
+  } depth_guard;
+  if (g_solve_depth == 1) A2A_COUNTER("lp.solves").inc();
   if (options.presolve) {
     const auto start = std::chrono::steady_clock::now();
     Presolve pre;
@@ -579,6 +615,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
         case Presolve::Result::kUnchanged:
           break;
       }
+      record_presolve_stats(pre.stats(), &out.stats);
       out.solve_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
               .count();
@@ -597,7 +634,10 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
     safe.basis_update = LpBasisUpdate::kEta;
     safe.eta_limit = std::min(options.eta_limit, 64);
     safe.harris_ratio = false;
-    return solve_lp_direct(model, safe, nullptr, warm_mode);
+    A2A_COUNTER("lp.cold_retries").inc();
+    LpSolution out = solve_lp_direct(model, safe, nullptr, warm_mode);
+    out.stats.cold_retries = 1;
+    return out;
   }
 }
 

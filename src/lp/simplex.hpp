@@ -46,6 +46,57 @@ struct LpBasis {
   }
 };
 
+/// Per-solve engine statistics (sparse solver only; the dense reference
+/// leaves them zero). Filled for every solve, independent of the obs layer's
+/// runtime switch — these are plain counters the engine maintains anyway.
+/// The same numbers feed the `lp.*` metrics (src/obs/metrics.hpp), so a
+/// bench record and a live dashboard agree by construction.
+struct LpStats {
+  long long iterations = 0;         ///< pivots across phases and retries.
+  long long primal_iterations = 0;  ///< pivots taken by the primal loops.
+  long long dual_iterations = 0;    ///< pivots taken by the dual simplex.
+  long long refactorizations = 0;   ///< full LU factorizations of the basis.
+  long long ft_updates = 0;         ///< accepted Forrest–Tomlin updates.
+  /// FT updates refused transactionally (unstable spike diagonal) — each one
+  /// forced a refactorization instead.
+  long long ft_refusals = 0;
+  /// Harris ratio tests whose second pass ran (pass 1 found a degenerate or
+  /// near-degenerate step worth re-picking for pivot size).
+  long long harris_second_pass = 0;
+  /// Transitions into Bland's rule (anti-cycling episodes), primal + dual.
+  long long bland_episodes = 0;
+  bool dual_used = false;           ///< the dual simplex drove this solve.
+  /// 1 when the warm/FT path threw SolverError and the solve succeeded only
+  /// on the cold conservative retry (eta updates, Harris off).
+  int cold_retries = 0;
+  /// Presolve reductions (lp/presolve.hpp), zero when presolve was off.
+  long long presolve_fixed_variables = 0;
+  long long presolve_empty_columns = 0;
+  long long presolve_empty_rows = 0;
+  long long presolve_singleton_rows = 0;
+  long long presolve_tightened_bounds = 0;
+
+  /// Merge another solve's counts (cold retries, presolve-reduced inner
+  /// solves) into this one.
+  void accumulate(const LpStats& other) {
+    iterations += other.iterations;
+    primal_iterations += other.primal_iterations;
+    dual_iterations += other.dual_iterations;
+    refactorizations += other.refactorizations;
+    ft_updates += other.ft_updates;
+    ft_refusals += other.ft_refusals;
+    harris_second_pass += other.harris_second_pass;
+    bland_episodes += other.bland_episodes;
+    dual_used = dual_used || other.dual_used;
+    cold_retries += other.cold_retries;
+    presolve_fixed_variables += other.presolve_fixed_variables;
+    presolve_empty_columns += other.presolve_empty_columns;
+    presolve_empty_rows += other.presolve_empty_rows;
+    presolve_singleton_rows += other.presolve_singleton_rows;
+    presolve_tightened_bounds += other.presolve_tightened_bounds;
+  }
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;          ///< in the model's original sense.
@@ -57,6 +108,8 @@ struct LpSolution {
   /// True when a supplied warm-start basis was actually used (it can be
   /// rejected when incompatible, singular, or primal infeasible).
   bool warm_started = false;
+  /// Engine statistics for this solve (see LpStats).
+  LpStats stats;
 
   [[nodiscard]] bool optimal() const { return status == LpStatus::kOptimal; }
 };

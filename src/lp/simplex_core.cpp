@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
 namespace a2a::lp_detail {
 
 SimplexCore::SimplexCore(const LpModel& model, const SimplexOptions& options,
@@ -286,8 +289,10 @@ bool SimplexCore::update_factors(int row, const std::vector<double>& alpha) {
     // ft_spike_ was captured by the compute_column(entering) of this very
     // pivot; no solves have touched it since.
     if (!lu_.update(row, ft_spike_, options_.ft_diag_tol, options_.drop_tol)) {
+      ++stats_.ft_refusals;
       return true;  // unstable transformed diagonal: refactorize
     }
+    ++stats_.ft_updates;
     if (lu_.updates() >= options_.ft_update_limit) return true;
     const auto base = static_cast<double>(std::max<std::size_t>(lu_.base_fill(), 64));
     return static_cast<double>(lu_.update_work()) >
@@ -323,7 +328,16 @@ void SimplexCore::clear_etas() {
 /// eta file) and recomputes the basic values and reduced costs (bounding
 /// numerical drift).
 void SimplexCore::refactorize() {
-  lu_.factor(cols_, basic_, /*prepare_updates=*/use_ft_);
+  try {
+    lu_.factor(cols_, basic_, /*prepare_updates=*/use_ft_);
+  } catch (const SolverError& e) {
+    // Re-throw with where-the-run-was context; the LU layer only knows the
+    // matrix, not the solve.
+    throw SolverError(e.what(),
+                      SolverErrorContext{iterations_, stats_.refactorizations,
+                                         phase_});
+  }
+  ++stats_.refactorizations;
   clear_etas();
   // x_B = B^-1 (b - A_N x_N).
   std::vector<double> residual = rhs_;
@@ -395,6 +409,25 @@ void SimplexCore::finish(LpSolution& out, const LpModel& model,
   out.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  stats_.iterations = iterations_;
+  // Only the dual loop tracks its own pivots; everything else (phase 1,
+  // restoration, phase 2, the dual's primal polish) is primal work.
+  stats_.primal_iterations = iterations_ - stats_.dual_iterations;
+  out.stats = stats_;
+  // Push this core run's counters into the global metrics ONCE, here — the
+  // iteration loops stay atomic-free. A warm-fail -> cold-retry solve runs
+  // two cores and pushes both; the metrics report total work done, the
+  // per-solve LpStats report what the returned solution cost.
+  A2A_COUNTER("lp.iterations").add(static_cast<std::uint64_t>(stats_.iterations));
+  A2A_COUNTER("lp.refactorizations")
+      .add(static_cast<std::uint64_t>(stats_.refactorizations));
+  A2A_COUNTER("lp.ft_updates").add(static_cast<std::uint64_t>(stats_.ft_updates));
+  A2A_COUNTER("lp.ft_refusals").add(static_cast<std::uint64_t>(stats_.ft_refusals));
+  A2A_COUNTER("lp.harris_second_pass")
+      .add(static_cast<std::uint64_t>(stats_.harris_second_pass));
+  A2A_COUNTER("lp.bland_episodes")
+      .add(static_cast<std::uint64_t>(stats_.bland_episodes));
+  A2A_HISTOGRAM("lp.solve.seconds").observe_seconds(out.solve_seconds);
 }
 
 }  // namespace a2a::lp_detail

@@ -120,6 +120,15 @@ class SimplexCore {
   bool warm_started_ = false;
   bool warm_failed_ = false;
   long long iterations_ = 0;
+  /// Engine counters for this core's run, exported via finish() into
+  /// LpSolution::stats and pushed once (there, not per event) into the
+  /// global `lp.*` metrics. Plain ints: the iteration loops never touch an
+  /// atomic.
+  LpStats stats_;
+  /// Which loop currently drives the engine ("phase1", "primal", "dual",
+  /// "restore") — carried as context on SolverError when the basis goes
+  /// singular.
+  const char* phase_ = "build";
 
   CscMatrix cols_;  ///< structural, slack, then artificial columns.
   CsrMatrix csr_;

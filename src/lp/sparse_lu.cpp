@@ -172,7 +172,9 @@ void SparseLu::factor(const CscMatrix& a, const std::vector<int>& columns,
     if (pivot < 0 || largest < 1e-11) {
       // Clear the workspace before throwing so the object stays reusable.
       for (const int r : pattern) work[static_cast<std::size_t>(r)] = 0.0;
-      throw SolverError("singular basis matrix in sparse LU factorization");
+      throw SolverError(detail::concat(
+          "singular basis matrix in sparse LU factorization (elimination "
+          "column ", j, " of ", n_, ", best pivot magnitude ", largest, ")"));
     }
     pivot_row_[static_cast<std::size_t>(j)] = pivot;
     pinv[static_cast<std::size_t>(pivot)] = j;

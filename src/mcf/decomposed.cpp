@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "mcf/extraction.hpp"
+#include "obs/trace.hpp"
 
 namespace a2a {
 
@@ -32,8 +33,11 @@ LinkFlowSolution solve_decomposed_mcf(const DiGraph& g,
                                       DecomposedTiming* timing,
                                       LpBasis* master_warm) {
   const auto t0 = std::chrono::steady_clock::now();
-  const GroupedFlowSolution master =
-      solve_master(g, terminals, options, master_warm);
+  const GroupedFlowSolution master = [&] {
+    A2A_TRACE_SPAN("mcf.master",
+                   std::to_string(terminals.size()) + " terminals");
+    return solve_master(g, terminals, options, master_warm);
+  }();
   const auto t1 = std::chrono::steady_clock::now();
 
   const int S = static_cast<int>(terminals.size());
@@ -62,6 +66,9 @@ LinkFlowSolution solve_decomposed_mcf(const DiGraph& g,
 
   ThreadPool pool(options.threads);
   pool.parallel_for(static_cast<std::size_t>(S), [&](std::size_t si) {
+    // Child solves run on pool workers; the span carries the worker's
+    // thread id, so traces show how child LPs spread across the pool.
+    A2A_TRACE_SPAN("mcf.child", "source " + std::to_string(si));
     const NodeId src = terminals[si];
     std::vector<NodeId> sinks;
     std::vector<int> sink_terminal_index;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/trace.hpp"
+
 namespace a2a {
 
 namespace {
@@ -123,6 +125,9 @@ LinkSchedule compile_tsmcf_schedule(const DiGraph& g, const TsMcfSolution& ts,
   LinkSchedule sched;
   sched.num_nodes = g.num_nodes();
   sched.num_steps = ts.steps;
+  A2A_TRACE_SPAN("stage.chunk", "decompose + snap " +
+                                    std::to_string(ts.pairs.count()) +
+                                    " commodities");
   for (int k = 0; k < ts.pairs.count(); ++k) {
     const auto [s, d] = ts.pairs.nodes(k);
     const auto st_paths =
@@ -184,11 +189,16 @@ LinkSchedule unroll_rate_schedule(const DiGraph& g,
   // all chunks equal-sized, so the per-step slot budget below is also a
   // per-step byte budget and the synchronized steps stay balanced.
   std::vector<std::vector<Rational>> fraction_sets;
-  fraction_sets.reserve(commodities.size());
-  for (const CommodityPaths& cp : commodities) {
-    std::vector<double> weights(cp.paths.size());
-    for (std::size_t p = 0; p < cp.paths.size(); ++p) weights[p] = cp.paths[p].weight;
-    fraction_sets.push_back(snap_to_unit_fractions(weights, options.chunking));
+  {
+    A2A_TRACE_SPAN("stage.chunk",
+                   "snap " + std::to_string(commodities.size()) +
+                       " commodities to unit fractions");
+    fraction_sets.reserve(commodities.size());
+    for (const CommodityPaths& cp : commodities) {
+      std::vector<double> weights(cp.paths.size());
+      for (std::size_t p = 0; p < cp.paths.size(); ++p) weights[p] = cp.paths[p].weight;
+      fraction_sets.push_back(snap_to_unit_fractions(weights, options.chunking));
+    }
   }
   const Rational unit = fractions_hcf(fraction_sets);
   std::vector<std::vector<PendingChunk>> per_commodity;

@@ -4,6 +4,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace a2a {
 
 namespace {
@@ -29,9 +31,14 @@ PathSchedule compile_from_fraction_sets(
     weight_sets[it->second].push_back(w);
     route_of[it->second].push_back(i);
   }
-  fraction_sets.reserve(weight_sets.size());
-  for (const auto& ws : weight_sets) {
-    fraction_sets.push_back(snap_to_unit_fractions(ws, options));
+  {
+    A2A_TRACE_SPAN("stage.chunk",
+                   "snap " + std::to_string(weight_sets.size()) +
+                       " commodities to unit fractions");
+    fraction_sets.reserve(weight_sets.size());
+    for (const auto& ws : weight_sets) {
+      fraction_sets.push_back(snap_to_unit_fractions(ws, options));
+    }
   }
   const Rational unit = fractions_hcf(fraction_sets);
 

@@ -26,11 +26,14 @@
 #include <string>
 
 #include "common/mmap_file.hpp"
+#include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "container/schedbin.hpp"
 #include "core/api.hpp"
 #include "core/schedule_cache.hpp"
 #include "graph/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "schedule/stats.hpp"
 #include "schedule/validate.hpp"
 #include "schedule/xml_io.hpp"
@@ -54,6 +57,9 @@ struct Args {
   std::string convert_in;
   std::string convert_out;
   std::string inspect;
+  std::string trace_file;
+  std::string metrics_file;
+  bool stats = false;
   bool report_only = false;
   bool mmap = false;
   bool schedbin_v1 = false;
@@ -84,6 +90,10 @@ void usage() {
       "                    chunk directory, then exit\n"
       "  --mmap            read --inspect/--convert input via mmap instead\n"
       "                    of slurping (--inspect reports the bytes read)\n"
+      "  --trace FILE      record a Chrome trace_event JSON of this run\n"
+      "                    (open in chrome://tracing or Perfetto)\n"
+      "  --metrics FILE    write the metrics registry as flat JSON on exit\n"
+      "  --stats           print a human-readable metrics table on exit\n"
       "  --report-only     print the report, skip the schedule output\n";
 }
 
@@ -217,6 +227,35 @@ void print_directory(const SchedBinReader& reader) {
   }
 }
 
+/// Per-codec rollup of the chunk directory: how each chunk was actually
+/// encoded (dict containers fall back per chunk when the dictionary loses)
+/// and how many bytes each codec is responsible for once decoded.
+void print_codec_summary(const SchedBinReader& reader) {
+  const SchedBinInfo info = reader.info();
+  std::uint64_t chunks_by_codec[4] = {};
+  std::uint64_t stored_by_codec[4] = {};
+  std::uint64_t decoded_by_codec[4] = {};
+  std::uint64_t fallbacks = 0;
+  for (std::uint32_t c = 0; c < reader.num_chunks(); ++c) {
+    const auto entry = reader.chunk_entry(c);
+    const auto i = static_cast<std::size_t>(entry.codec);
+    chunks_by_codec[i] += 1;
+    stored_by_codec[i] += entry.size;
+    decoded_by_codec[i] += static_cast<std::uint64_t>(reader.chunk_word_count(c)) * 8;
+    if (entry.codec != info.codec) ++fallbacks;
+  }
+  std::cout << "  codec summary:\n";
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (chunks_by_codec[i] == 0) continue;
+    std::cout << "    " << codec_name(static_cast<SchedBinCodec>(i)) << ": "
+              << chunks_by_codec[i] << " chunks, " << stored_by_codec[i]
+              << " bytes stored, " << decoded_by_codec[i]
+              << " bytes decoded\n";
+  }
+  std::cout << "    fallbacks from " << codec_name(info.codec) << ": "
+            << fallbacks << " of " << reader.num_chunks() << " chunks\n";
+}
+
 int run_inspect(const Args& args) {
   if (args.mmap) {
     // Zero-copy path: header + trailer only, no chunk CRC sweep. The
@@ -225,13 +264,16 @@ int run_inspect(const Args& args) {
     const SchedBinReader reader = SchedBinReader::open_file(args.inspect);
     print_info(reader.info());
     print_directory(reader);
+    print_codec_summary(reader);
     std::cerr << "mmap: read " << reader.bytes_read() << " of "
               << reader.total_bytes() << " bytes\n";
     return 0;
   }
   const std::string bytes = read_file(args.inspect);
   print_info(schedbin_inspect(bytes));  // validates every chunk CRC
-  print_directory(SchedBinReader::from_bytes(bytes));
+  const SchedBinReader reader = SchedBinReader::from_bytes(bytes);
+  print_directory(reader);
+  print_codec_summary(reader);
   return 0;
 }
 
@@ -293,6 +335,43 @@ int run_convert(const Args& args) {
   return 0;
 }
 
+/// --stats: the metrics registry as an aligned table on stderr (stdout may
+/// be carrying the schedule payload). Histogram times are reported in
+/// milliseconds; p50/p99 are bucket upper bounds.
+void print_metrics_table() {
+  Table table({"metric", "kind", "value", "sum_ms", "p50_ms", "p99_ms"});
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    table.row().cell(s.name);
+    switch (s.kind) {
+      case obs::MetricKind::kCounter:
+        table.cell("counter").cell(static_cast<long long>(s.value));
+        table.cell("-").cell("-").cell("-");
+        break;
+      case obs::MetricKind::kGauge:
+        table.cell("gauge").cell(static_cast<long long>(s.value));
+        table.cell("-").cell("-").cell("-");
+        break;
+      case obs::MetricKind::kHistogram:
+        table.cell("histogram").cell(static_cast<long long>(s.value));
+        table.cell(static_cast<double>(s.sum_ns) / 1e6, 3);
+        table.cell(static_cast<double>(s.p50_ns) / 1e6, 3);
+        table.cell(static_cast<double>(s.p99_ns) / 1e6, 3);
+        break;
+    }
+  }
+  table.print(std::cerr);
+}
+
+void write_text_file(const std::string& payload, const std::string& path,
+                     const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  A2A_REQUIRE(out.good(), "cannot open ", what, " file: ", path);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  A2A_REQUIRE(out.good(), "short write to ", what, " file: ", path);
+  std::cerr << what << ": wrote " << payload.size() << " bytes to " << path
+            << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,6 +401,9 @@ int main(int argc, char** argv) {
       args.convert_out = value();
     }
     else if (flag == "--inspect") args.inspect = value();
+    else if (flag == "--trace") args.trace_file = value();
+    else if (flag == "--metrics") args.metrics_file = value();
+    else if (flag == "--stats") args.stats = true;
     else if (flag == "--mmap") args.mmap = true;
     else if (flag == "--schedbin-v1") args.schedbin_v1 = true;
     else if (flag == "--report-only") args.report_only = true;
@@ -337,8 +419,41 @@ int main(int argc, char** argv) {
 
   try {
     (void)codec_from_name(args.codec);  // reject bad --codec before any work
-    if (!args.inspect.empty()) return run_inspect(args);
-    if (!args.convert_in.empty()) return run_convert(args);
+    if ((!args.trace_file.empty() || !args.metrics_file.empty() || args.stats) &&
+        !obs::compiled_in()) {
+      std::cerr << "note: observability compiled out (A2A_OBS=0); trace and "
+                   "metrics output will be empty\n";
+    }
+    // The trace session spans the whole invocation (generate, validate,
+    // encode, cache, convert — whatever this run does); the flush below runs
+    // on every successful exit path.
+    std::optional<obs::TraceSession> session;
+    if (!args.trace_file.empty()) session.emplace();
+    const auto finish_observability = [&] {
+      if (session) {
+        session->stop();
+        write_text_file(session->chrome_json(), args.trace_file, "trace");
+        if (session->dropped() > 0) {
+          std::cerr << "trace: " << session->dropped()
+                    << " events dropped (ring buffers full)\n";
+        }
+      }
+      if (!args.metrics_file.empty()) {
+        write_text_file(obs::MetricsRegistry::global().to_json(),
+                        args.metrics_file, "metrics");
+      }
+      if (args.stats) print_metrics_table();
+    };
+    if (!args.inspect.empty()) {
+      const int rc = run_inspect(args);
+      finish_observability();
+      return rc;
+    }
+    if (!args.convert_in.empty()) {
+      const int rc = run_convert(args);
+      finish_observability();
+      return rc;
+    }
     A2A_REQUIRE(args.format == "xml" || args.format == "schedbin",
                 "unknown --format: ", args.format);
 
@@ -379,8 +494,11 @@ int main(int argc, char** argv) {
 
     std::string payload;
     if (result.path.has_value()) {
-      const auto validation = validate_path_schedule(
-          result.schedule_graph, *result.path, result.terminals);
+      const auto validation = [&] {
+        A2A_TRACE_SPAN("stage.validate", "path schedule");
+        return validate_path_schedule(result.schedule_graph, *result.path,
+                                      result.terminals);
+      }();
       A2A_REQUIRE(validation.ok, "generated schedule failed validation");
       const auto stats = analyze_path_schedule(result.schedule_graph, *result.path);
       std::cerr << "routes: " << stats.num_routes << ", chunks/QPs: "
@@ -391,8 +509,11 @@ int main(int argc, char** argv) {
                     : path_schedule_to_schedbin(result.schedule_graph,
                                                 *result.path, bin_options);
     } else {
-      const auto validation = validate_link_schedule(
-          result.schedule_graph, *result.link, result.terminals);
+      const auto validation = [&] {
+        A2A_TRACE_SPAN("stage.validate", "link schedule");
+        return validate_link_schedule(result.schedule_graph, *result.link,
+                                      result.terminals);
+      }();
       A2A_REQUIRE(validation.ok, "generated schedule failed validation");
       const auto stats = analyze_link_schedule(result.schedule_graph, *result.link);
       std::cerr << "steps: " << stats.num_steps << ", transfers: "
@@ -402,8 +523,8 @@ int main(int argc, char** argv) {
                     ? link_schedule_to_xml(*result.link)
                     : link_schedule_to_schedbin(*result.link, bin_options);
     }
-    if (args.report_only) return 0;
-    write_output(payload, args.output);
+    if (!args.report_only) write_output(payload, args.output);
+    finish_observability();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
