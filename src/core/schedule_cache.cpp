@@ -6,6 +6,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -296,6 +297,21 @@ fs::path object_path(const std::string& disk_dir, const std::string& key) {
 fs::path ref_path(const std::string& disk_dir, const std::string& fingerprint) {
   return refs_dir(disk_dir) / (fingerprint + ".ref");
 }
+fs::path quarantine_dir(const std::string& disk_dir) {
+  return fs::path(disk_dir) / "quarantine";
+}
+
+/// Moves a corrupt artifact out of service into `quarantine/` (same
+/// filesystem, so a rename — never a copy of possibly-large garbage). The
+/// bytes are kept for forensics; the object no longer resolves, so the
+/// re-synthesized artifact gets written fresh. Falls back to outright
+/// removal when the rename itself fails (e.g. quarantine dir uncreatable).
+void quarantine_object(const std::string& disk_dir, const fs::path& path) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir(disk_dir), ec);
+  fs::rename(path, quarantine_dir(disk_dir) / path.filename(), ec);
+  if (ec) fs::remove(path, ec);
+}
 
 /// A ref file holds the 32-hex-char content key of its artifact.
 std::optional<std::string> resolve_ref(const std::string& disk_dir,
@@ -389,8 +405,12 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
         resolve_entry(options_.disk_dir, fingerprint, &had_ref);
     if (!path.empty()) {
       if (const auto bytes = read_file(path)) {
-        // A corrupt disk entry is a miss, not an error: the caller
-        // recompiles and overwrites it.
+        // A corrupt disk entry is a miss, not an error: the artifact is
+        // quarantined (kept for forensics, never served again), its ref
+        // dropped, and the caller re-synthesizes and overwrites it.
+        // std::exception, not just Error: a truncated or foreign payload
+        // can trip a length_error/bad_alloc in the decoder before the CRC
+        // gets a chance to reject it.
         try {
           GeneratedSchedule schedule = generated_schedule_from_bytes(*bytes);
           // Refresh the artifact's age — but only where the GC will ever
@@ -406,7 +426,17 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
           span.annotate("disk hit");
           insert_memory_locked(fingerprint, schedule);
           return schedule;
-        } catch (const Error&) {
+        } catch (const std::exception&) {
+          {
+            std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+            quarantine_object(options_.disk_dir, path);
+          }
+          std::error_code ec;
+          fs::remove(ref_path(options_.disk_dir, fingerprint), ec);
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.disk_corrupt;
+          A2A_COUNTER("cache.disk_corrupt").inc();
+          span.annotate("corrupt artifact quarantined");
         }
       }
     } else if (had_ref) {

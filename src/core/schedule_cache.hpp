@@ -72,6 +72,11 @@ struct ScheduleCacheStats {
   /// Inserts skipped because the artifact alone exceeds max_disk_bytes
   /// (writing it would be evicted right back — pure churn).
   std::uint64_t disk_oversize_rejections = 0;
+  /// Disk artifacts that failed to decode on lookup (truncated write,
+  /// bit-rot, foreign bytes). Each is moved into `<disk_dir>/quarantine/`
+  /// — preserved for forensics, never served again — its ref dropped, and
+  /// the lookup degrades to a miss so the caller re-synthesizes.
+  std::uint64_t disk_corrupt = 0;
 
   [[nodiscard]] std::uint64_t hits() const { return memory_hits + disk_hits; }
 };

@@ -111,6 +111,7 @@ LpStatus SimplexCore::iterate_dual() {
   };
 
   while (iterations_ < options_.max_iterations) {
+    if (time_exceeded()) return LpStatus::kTimeLimit;
     // ---- leaving row: largest scaled primal infeasibility ---------------
     int leaving_row = -1;
     double sigma = 0.0;     // +1: x_r above upper, -1: x_r below lower.

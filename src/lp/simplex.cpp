@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <string_view>
 
 #include "lp/presolve.hpp"
 #include "lp/simplex_core.hpp"
@@ -34,6 +36,14 @@ LpSolution SimplexCore::run_primal(const LpModel& model) {
     // composite phase 1: drive the infeasibility sum to zero in place.
     phase_ = "restore";
     if (!restore_feasibility()) {
+      // A deadline expiry mid-restoration is not a repair failure: report
+      // kTimeLimit with the basis as-is instead of sending the dispatch to
+      // a cold solve the budget can no longer pay for.
+      if (time_expired()) {
+        out.status = LpStatus::kTimeLimit;
+        finish(out, model, start);
+        return out;
+      }
       warm_failed_ = true;
       out.status = LpStatus::kIterationLimit;
       finish(out, model, start);
@@ -85,6 +95,7 @@ bool SimplexCore::restore_feasibility() {
   int degenerate_streak = 0;
   bool bland = false;
   for (long long pivots = 0; pivots < budget; ++pivots) {
+    if (time_exceeded()) return false;  // run_primal reports kTimeLimit
     // Infeasibility costs from the current basic values.
     int violations = 0;
     for (int i = 0; i < m_; ++i) {
@@ -235,6 +246,7 @@ LpStatus SimplexCore::iterate_primal() {
   bool bland = false;
   bool freshly_priced = false;
   while (iterations_ < options_.max_iterations) {
+    if (time_exceeded()) return LpStatus::kTimeLimit;
     // ---- pricing: Devex on maintained reduced costs -------------------
     // Wide models (the 50k-column pMCF masters) use sectioned PARTIAL
     // pricing: scan rotating windows of the column range and stop at the
@@ -496,15 +508,53 @@ LpStatus SimplexCore::iterate_primal() {
   return LpStatus::kIterationLimit;
 }
 
+void merge_failed_attempt(LpSolution& out, const SolverErrorContext& context) {
+  // The failed core died before finish(), so neither its LpSolution stats
+  // nor the global lp.* counters saw the work it did; fold in what the
+  // error context preserved. -1 fields mean the throw site had no context.
+  if (context.iterations > 0) {
+    out.iterations += context.iterations;
+    out.stats.iterations += context.iterations;
+    if (std::string_view(context.phase) == "dual") {
+      out.stats.dual_iterations += context.iterations;
+    } else {
+      out.stats.primal_iterations += context.iterations;
+    }
+    A2A_COUNTER("lp.iterations")
+        .add(static_cast<std::uint64_t>(context.iterations));
+  }
+  if (context.refactorizations > 0) {
+    out.stats.refactorizations += context.refactorizations;
+    A2A_COUNTER("lp.refactorizations")
+        .add(static_cast<std::uint64_t>(context.refactorizations));
+  }
+}
+
 }  // namespace lp_detail
 
 namespace {
+
+/// Shrinks a time budget by the time already spent since `start`. An
+/// exhausted budget clamps to a hair above zero (not to "unlimited"), so
+/// the next core's first deadline probe fires before any pivot.
+SimplexOptions with_remaining_budget(
+    const SimplexOptions& options,
+    std::chrono::steady_clock::time_point start) {
+  if (options.time_limit_s <= 0.0) return options;
+  SimplexOptions adjusted = options;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  adjusted.time_limit_s = std::max(options.time_limit_s - elapsed, 1e-9);
+  return adjusted;
+}
 
 /// The warm-mode dispatch between the primal and dual drivers, on the model
 /// as given (presolve and the numerical-collapse fallback live in
 /// solve_lp()).
 LpSolution solve_lp_direct(const LpModel& model, const SimplexOptions& options,
                            const LpBasis* warm_start, LpWarmMode warm_mode) {
+  const auto start = std::chrono::steady_clock::now();
   if (warm_start != nullptr) {
     lp_detail::SimplexCore solver(model, options, warm_start);
     if (!solver.warm_started()) {
@@ -523,19 +573,26 @@ LpSolution solve_lp_direct(const LpModel& model, const SimplexOptions& options,
       if (want_dual && solver.dual_feasible()) {
         LpSolution out = solver.run_dual(model);
         if (out.status == LpStatus::kOptimal ||
-            out.status == LpStatus::kUnbounded) {
+            out.status == LpStatus::kUnbounded ||
+            out.status == LpStatus::kTimeLimit) {
           return out;
         }
         // The dual stalled (numerical drift or a genuinely infeasible
         // instance it cannot certify); the cold primal is authoritative.
       } else {
         LpSolution out = solver.run_primal(model);
+        // An expired budget is terminal: the cold fallback below could not
+        // finish either, and the partial basis is the caller's answer.
+        if (out.status == LpStatus::kTimeLimit) return out;
         if (!solver.warm_failed()) return out;
         // The warm basis resisted repair; a cold solve is the reliable path.
       }
     }
   }
-  lp_detail::SimplexCore solver(model, options, nullptr);
+  // The cold core draws from whatever the warm attempt left of the budget —
+  // the deadline is absolute across the dispatch, not per core.
+  lp_detail::SimplexCore solver(model, with_remaining_budget(options, start),
+                                nullptr);
   return solver.run_primal(model);
 }
 
@@ -567,6 +624,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
                     const LpBasis* warm_start, LpWarmMode warm_mode) {
   A2A_REQUIRE(model.num_rows() > 0, "LP with no constraints");
   A2A_REQUIRE(model.num_variables() > 0, "LP with no variables");
+  const auto solve_start = std::chrono::steady_clock::now();
   struct DepthGuard {
     DepthGuard() { ++g_solve_depth; }
     ~DepthGuard() { --g_solve_depth; }
@@ -601,7 +659,8 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
           // projected into the reduced space when it survives the mapping;
           // the exported basis always covers the full model, so warm starts
           // thread through presolved re-solves exactly as before.
-          SimplexOptions inner = options;
+          // Presolve time comes out of the same wall-clock allowance.
+          SimplexOptions inner = with_remaining_budget(options, solve_start);
           inner.presolve = false;
           LpBasis mapped;
           const LpBasis* seed = warm_start != nullptr && !warm_start->empty() &&
@@ -624,19 +683,21 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
   }
   try {
     return solve_lp_direct(model, options, warm_start, warm_mode);
-  } catch (const SolverError&) {
+  } catch (const SolverError& e) {
     // Numerical collapse: drift-poisoned pivots can steer the basis into
     // actual singularity (the refactorization throws). One cold retry on
     // the conservative configuration — short-leash eta file, exact ratio
     // tests — is the production-grade response; if even that cannot factor,
-    // the model itself is pathological and the error propagates.
-    SimplexOptions safe = options;
+    // the model itself is pathological and the error propagates. The retry
+    // draws from the remaining wall-clock budget, never a fresh one.
+    SimplexOptions safe = with_remaining_budget(options, solve_start);
     safe.basis_update = LpBasisUpdate::kEta;
     safe.eta_limit = std::min(options.eta_limit, 64);
     safe.harris_ratio = false;
     A2A_COUNTER("lp.cold_retries").inc();
     LpSolution out = solve_lp_direct(model, safe, nullptr, warm_mode);
     out.stats.cold_retries = 1;
+    lp_detail::merge_failed_attempt(out, e.context());
     return out;
   }
 }
@@ -655,6 +716,7 @@ std::string to_string(LpStatus status) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterationLimit: return "iteration-limit";
+    case LpStatus::kTimeLimit: return "time-limit";
   }
   return "unknown";
 }

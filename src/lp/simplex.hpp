@@ -25,7 +25,18 @@
 
 namespace a2a {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  /// The cooperative wall-clock budget (SimplexOptions::time_limit_s)
+  /// expired mid-solve. The solution carries the best basis reached so far
+  /// (values, objective and an exportable basis), not a certificate of
+  /// anything — deadline-bounded re-solves (src/failover/) inspect it and
+  /// decide whether the partial answer is worth serving.
+  kTimeLimit,
+};
 
 /// Basis status of one variable (structural or row slack).
 enum class LpVarStatus : unsigned char { kAtLower, kAtUpper, kBasic };
@@ -131,6 +142,15 @@ enum class LpBasisUpdate { kForrestTomlin, kEta };
 
 struct SimplexOptions {
   long long max_iterations = 2'000'000;
+  /// Wall-clock budget for the whole solve in seconds; 0 = unlimited. The
+  /// iteration loops (primal, dual, warm-basis restoration) check the clock
+  /// cooperatively every few pivots and end the solve with kTimeLimit —
+  /// exporting the best basis reached so far — instead of running on or
+  /// throwing. The budget is absolute across a solve_lp() call: presolve,
+  /// a failed warm attempt and the cold fallback all draw from the same
+  /// allowance, so a deadline-bounded caller overshoots by at most one
+  /// check interval plus one refactorization.
+  double time_limit_s = 0.0;
   /// Pivots between LU refactorizations (dense solver: product-form updates
   /// of the explicit inverse, refactorize rarely; flow bases stay accurate).
   int refactor_interval = 4000;

@@ -18,7 +18,21 @@ SimplexCore::SimplexCore(const LpModel& model, const SimplexOptions& options,
     : options_(options),
       m_(model.num_rows()),
       use_ft_(options.basis_update == LpBasisUpdate::kForrestTomlin) {
+  if (options.time_limit_s > 0.0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options.time_limit_s));
+    has_deadline_ = true;
+  }
   build(model, warm_start);
+}
+
+bool SimplexCore::time_exceeded() {
+  if (!has_deadline_) return false;
+  if (time_expired_) return true;
+  if ((++deadline_probe_ & 63u) != 0) return false;
+  if (std::chrono::steady_clock::now() >= deadline_) time_expired_ = true;
+  return time_expired_;
 }
 
 void SimplexCore::build(const LpModel& model, const LpBasis* warm_start) {

@@ -17,7 +17,10 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <vector>
+
+#include "common/error.hpp"
 
 #include "lp/simplex.hpp"
 #include "lp/sparse.hpp"
@@ -100,6 +103,13 @@ class SimplexCore {
   void refactorize();
   void recompute_reduced_costs();
 
+  /// Cooperative deadline probe for the iteration loops. Rate-limited to one
+  /// clock read per 64 calls (the first call always reads, so an
+  /// already-expired budget exits before any pivot); once it fires,
+  /// time_expired() stays true for the rest of this core's life.
+  [[nodiscard]] bool time_exceeded();
+  [[nodiscard]] bool time_expired() const { return time_expired_; }
+
   /// Writes values, objective, basis, iteration count and wall time into
   /// `out` from the current state.
   void finish(LpSolution& out, const LpModel& model,
@@ -130,6 +140,13 @@ class SimplexCore {
   /// singular.
   const char* phase_ = "build";
 
+  /// Wall-clock budget (SimplexOptions::time_limit_s), armed at
+  /// construction; time_point{} means unlimited.
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool time_expired_ = false;
+  std::uint32_t deadline_probe_ = ~0u;  ///< ++ wraps to 0: first call probes.
+
   CscMatrix cols_;  ///< structural, slack, then artificial columns.
   CsrMatrix csr_;
   std::vector<double> lo_, up_, cost_, work_cost_;
@@ -159,5 +176,11 @@ class SimplexCore {
   std::vector<double> dual_weight_;  ///< dual Devex weights (per basis row).
   int pricing_cursor_ = 0;  ///< partial-pricing scan position (primal).
 };
+
+/// Folds the forensics of a failed solve attempt (carried on the
+/// SolverError that aborted it — its core never ran finish(), so the work
+/// it did would otherwise vanish) into the cold retry's solution stats and
+/// the global lp.* counters. Exposed for the cold-retry accounting tests.
+void merge_failed_attempt(LpSolution& out, const SolverErrorContext& context);
 
 }  // namespace a2a::lp_detail

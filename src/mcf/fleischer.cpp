@@ -12,6 +12,20 @@ namespace a2a {
 
 namespace {
 
+/// Phase-boundary deadline check. Fleischer's rescale makes the flow of any
+/// completed-phase prefix feasible, so cutting the loop here degrades F
+/// gracefully instead of invalidating the solution. Phases are long enough
+/// (one Dijkstra/scan per source or commodity) that a clock read per phase
+/// is noise.
+bool phase_deadline_hit(const FleischerOptions& options,
+                        std::chrono::steady_clock::time_point start) {
+  if (options.time_limit_s <= 0.0) return false;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed >= options.time_limit_s;
+}
+
 double initial_length_delta(double epsilon, int num_edges) {
   // Theory value delta = (1+eps) * ((1+eps) m)^{-1/eps}; clamped away from
   // denormals for tiny epsilon.
@@ -58,6 +72,8 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
 
   long long phases = 0;
   while (dual < 1.0 && phases < options.max_phases) {
+    // >= 1 phase always runs: the rescale needs some flow (mu > 0).
+    if (phases > 0 && phase_deadline_hit(options, start)) break;
     ++phases;
     for (int si = 0; si < S; ++si) {
       const NodeId s = terminals[static_cast<std::size_t>(si)];
@@ -160,6 +176,8 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
 
   long long phases = 0;
   while (dual < 1.0 && phases < options.max_phases) {
+    // >= 1 phase always runs: the rescale needs some flow (mu > 0).
+    if (phases > 0 && phase_deadline_hit(options, start)) break;
     ++phases;
     for (std::size_t k = 0; k < K; ++k) {
       double demand = 1.0;

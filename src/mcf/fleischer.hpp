@@ -23,6 +23,12 @@ namespace a2a {
 struct FleischerOptions {
   double epsilon = 0.05;       ///< target (1-O(eps)) approximation.
   long long max_phases = 200'000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked at phase
+  /// boundaries only — the congestion rescale makes the flow accumulated by
+  /// *completed* phases feasible, so stopping there keeps the anytime
+  /// guarantee (a weaker F, never an invalid flow). At least one phase
+  /// always runs.
+  double time_limit_s = 0.0;
 };
 
 /// Grouped-source concurrent flow: demands are 1 from every terminal to

@@ -39,9 +39,11 @@ PathSet build_shortest_path_set(const DiGraph& g,
   return set;
 }
 
-PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
-                                     const SimplexOptions& lp, LpBasis* warm,
-                                     LpWarmMode warm_mode) {
+namespace {
+
+PathMcfSolution solve_path_mcf_impl(const DiGraph& g, const PathSet& paths,
+                                    const SimplexOptions& lp, LpBasis* warm,
+                                    LpWarmMode warm_mode, bool throw_on_fail) {
   const std::size_t K = paths.commodities.size();
   A2A_REQUIRE(K >= 1, "empty path set");
   LpModel model(Sense::kMaximize);
@@ -77,23 +79,46 @@ PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
   }
 
   const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);
-  if (!sol.optimal()) {
+  if (throw_on_fail && !sol.optimal()) {
     throw SolverError("path MCF LP failed: " + to_string(sol.status));
   }
   PathMcfSolution out;
-  out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
+  out.status = sol.status;
   out.weights.resize(K);
   for (std::size_t k = 0; k < K; ++k) {
-    out.weights[k].resize(paths.candidates[k].size());
-    for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
-      const double v =
-          sol.values[static_cast<std::size_t>(first_var[k]) + p];
-      out.weights[k][p] = v > 1e-10 ? v : 0.0;
+    out.weights[k].assign(paths.candidates[k].size(), 0.0);
+  }
+  // A solve aborted before its first basis export carries no values; leave
+  // the zero weights for the caller's repair pass in that case.
+  if (sol.values.size() > static_cast<std::size_t>(f_var)) {
+    out.concurrent_flow = sol.values[static_cast<std::size_t>(f_var)];
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
+        const double v =
+            sol.values[static_cast<std::size_t>(first_var[k]) + p];
+        out.weights[k][p] = v > 1e-10 ? v : 0.0;
+      }
     }
   }
   out.lp_iterations = sol.iterations;
   out.solve_seconds = sol.solve_seconds;
   return out;
+}
+
+}  // namespace
+
+PathMcfSolution solve_path_mcf_exact(const DiGraph& g, const PathSet& paths,
+                                     const SimplexOptions& lp, LpBasis* warm,
+                                     LpWarmMode warm_mode) {
+  return solve_path_mcf_impl(g, paths, lp, warm, warm_mode,
+                             /*throw_on_fail=*/true);
+}
+
+PathMcfSolution solve_path_mcf_budgeted(const DiGraph& g, const PathSet& paths,
+                                        const SimplexOptions& lp, LpBasis* warm,
+                                        LpWarmMode warm_mode) {
+  return solve_path_mcf_impl(g, paths, lp, warm, warm_mode,
+                             /*throw_on_fail=*/false);
 }
 
 double max_link_load(const DiGraph& g, const PathSet& paths,

@@ -34,6 +34,10 @@ struct PathMcfSolution {
   std::vector<std::vector<double>> weights;  ///< [commodity][candidate].
   long long lp_iterations = 0;
   double solve_seconds = 0.0;
+  /// LP outcome. Always kOptimal from solve_path_mcf_exact (it throws
+  /// otherwise); the budgeted variant reports kTimeLimit / kIterationLimit
+  /// with best-effort weights instead.
+  LpStatus status = LpStatus::kOptimal;
 };
 /// A non-null `warm` seeds the LP basis (when non-empty) and receives the
 /// final one — the Fig. 9 disabled-link sweep re-solves the same candidate
@@ -43,6 +47,17 @@ struct PathMcfSolution {
                                                    const SimplexOptions& lp = {},
                                                    LpBasis* warm = nullptr,
                                                    LpWarmMode warm_mode = LpWarmMode::kAuto);
+
+/// Deadline-tolerant variant for online re-scheduling: a non-optimal LP
+/// outcome (e.g. SimplexOptions::time_limit_s expired) is reported via
+/// `status` instead of thrown, with whatever primal values the solver
+/// reached. Callers must check `status` — non-optimal weights may be
+/// infeasible or all-zero and need a downstream repair/validation pass.
+[[nodiscard]] PathMcfSolution solve_path_mcf_budgeted(const DiGraph& g,
+                                                      const PathSet& paths,
+                                                      const SimplexOptions& lp = {},
+                                                      LpBasis* warm = nullptr,
+                                                      LpWarmMode warm_mode = LpWarmMode::kAuto);
 
 /// Max per-edge load if each commodity splits its unit demand over its
 /// candidate paths with the given weights (weights are normalized per

@@ -113,6 +113,38 @@ TEST(Fleischer, PathRestrictedRespectsCapacities) {
   }
 }
 
+TEST(Fleischer, TinyTimeLimitStillYieldsFeasibleFlow) {
+  // Anytime contract: the phase-boundary cutoff may cost optimality but
+  // never feasibility, and at least one phase always runs (the congestion
+  // rescale needs some flow to normalize by).
+  const DiGraph g = make_torus({3, 3});
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  FleischerOptions options;
+  options.time_limit_s = 1e-9;
+  const auto sol = fleischer_paths(g, set, options);
+  EXPECT_GT(sol.concurrent_flow, 0.0);
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t k = 0; k < sol.weights.size(); ++k) {
+    for (std::size_t p = 0; p < sol.weights[k].size(); ++p) {
+      for (const EdgeId e : set.candidates[k][p]) {
+        load[static_cast<std::size_t>(e)] += sol.weights[k][p];
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(load[static_cast<std::size_t>(e)], g.edge(e).capacity + 1e-6);
+  }
+}
+
+TEST(Fleischer, GroupedTimeLimitKeepsFeasibility) {
+  const DiGraph g = make_ring(8);
+  FleischerOptions options;
+  options.time_limit_s = 1e-9;
+  const auto sol = fleischer_grouped(g, all_nodes(g), options);
+  check_grouped_feasible(g, sol);
+  EXPECT_GT(sol.concurrent_flow, 0.0);
+}
+
 TEST(Fleischer, GroupedWithTerminalSubset) {
   const DiGraph g = make_ring(6);
   const auto sol = fleischer_grouped(g, {0, 3});

@@ -86,6 +86,31 @@ TEST(PathMcf, ShortestSetTruncationFlagOnTorus) {
   EXPECT_TRUE(truncated);  // tori have many shortest paths (§3.1.4)
 }
 
+TEST(PathMcf, BudgetedSolveReportsTimeLimitInsteadOfThrowing) {
+  const DiGraph g = make_torus({3, 3});
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  SimplexOptions lp;
+  lp.time_limit_s = 1e-9;
+  const auto sol = solve_path_mcf_budgeted(g, set, lp);
+  EXPECT_EQ(sol.status, LpStatus::kTimeLimit);
+  // Weights stay shaped like the candidate set even when the solve was cut
+  // off before any value was produced (callers repair, not crash).
+  ASSERT_EQ(sol.weights.size(), set.commodities.size());
+  for (std::size_t k = 0; k < sol.weights.size(); ++k) {
+    EXPECT_EQ(sol.weights[k].size(), set.candidates[k].size());
+  }
+}
+
+TEST(PathMcf, BudgetedSolveMatchesExactWithGenerousBudget) {
+  const DiGraph g = make_hypercube(3);
+  const PathSet set = build_disjoint_path_set(g, all_nodes(g));
+  SimplexOptions lp;
+  lp.time_limit_s = 30.0;
+  const auto sol = solve_path_mcf_budgeted(g, set, lp);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.concurrent_flow, 0.25, 1e-5);
+}
+
 TEST(PathMcf, BuildDisjointThrowsOnDisconnectedTerminals) {
   DiGraph g(3);
   g.add_edge(0, 1);

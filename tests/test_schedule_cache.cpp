@@ -457,6 +457,66 @@ TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
   EXPECT_EQ(cache.stats().disk_hits, 0u);
 }
 
+TEST(ScheduleCache, CorruptArtifactIsQuarantinedAndRefDropped) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  options.max_memory_bytes = 0;  // force lookups to the disk tier
+  ScheduleCache cache(options);
+  cache.insert("fp", make_sized(50, 7));
+  const std::string path = cache.entry_path("fp");
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    f.put('\xAB');
+  }
+  EXPECT_FALSE(cache.lookup("fp").has_value());
+  EXPECT_EQ(cache.stats().disk_corrupt, 1u);
+  // The bad bytes are preserved for forensics under quarantine/, no longer
+  // where lookups resolve, and the fingerprint's ref is gone.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(
+      fs::exists(dir.path / "quarantine" / fs::path(path).filename()));
+  EXPECT_TRUE(cache.entry_path("fp").empty());
+  // Quarantined garbage never counts as a servable artifact.
+  EXPECT_EQ(cache.disk_object_count(), 0u);
+  // Second lookup is a plain miss — quarantine happens once per artifact.
+  EXPECT_FALSE(cache.lookup("fp").has_value());
+  EXPECT_EQ(cache.stats().disk_corrupt, 1u);
+}
+
+TEST(ScheduleCache, TruncatedArtifactQuarantinesInsteadOfThrowing) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  options.max_memory_bytes = 0;
+  ScheduleCache cache(options);
+  cache.insert("fp", make_sized(200, 9));
+  const std::string path = cache.entry_path("fp");
+  ASSERT_FALSE(path.empty());
+  // Simulate a crashed writer that bypassed the tmp+rename discipline (or
+  // bit-rot that shortened the file): keep only the first 40 bytes, which
+  // still parse as a plausible envelope prefix.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 40u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), 40);
+  }
+  EXPECT_FALSE(cache.lookup("fp").has_value());
+  EXPECT_EQ(cache.stats().disk_corrupt, 1u);
+  // Re-synthesis (re-insert) heals the entry with a fresh write.
+  cache.insert("fp", make_sized(200, 9));
+  EXPECT_TRUE(cache.lookup("fp").has_value());
+}
+
 TEST(ScheduleCache, EnvelopeRoundTripsPathSchedules) {
   // A path-kind GeneratedSchedule (NIC-forwarding fabric) through the disk
   // envelope: graph, terminals, notes, vc layers and bit-exact weights.

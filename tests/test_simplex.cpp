@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/random.hpp"
+#include "lp/simplex_core.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/topologies.hpp"
 #include "mcf/concurrent_flow.hpp"
@@ -622,6 +624,67 @@ TEST(SimplexBoundFlip, FlipOnlySolveLeavesBasisUntouched) {
   const LpSolution again = solve_lp(m, {}, &s.basis);
   ASSERT_TRUE(again.optimal());
   EXPECT_EQ(again.iterations, 0);
+}
+
+/// A model presolve cannot collapse: every variable couples several rows.
+LpModel overlapping_rows_model(int n) {
+  LpModel m(Sense::kMaximize);
+  std::vector<int> vars;
+  vars.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(m.add_variable(0, kInfinity, 1.0 + 0.01 * i));
+  }
+  for (int r = 0; r < n; ++r) {
+    const int row = m.add_row(RowType::kLessEqual, 10.0);
+    for (int k = 0; k < 5; ++k) {
+      m.add_coefficient(row, vars[static_cast<std::size_t>((r * 3 + k * 7) % n)],
+                        1.0 + (r + k) % 3);
+    }
+  }
+  return m;
+}
+
+TEST(SimplexDeadline, TinyBudgetEndsCooperativelyWithTimeLimit) {
+  const LpModel m = overlapping_rows_model(60);
+  SimplexOptions opts;
+  opts.time_limit_s = 1e-9;  // expires before the first pivot's probe
+  const LpSolution cut = solve_lp(m, opts);
+  EXPECT_EQ(cut.status, LpStatus::kTimeLimit);
+  EXPECT_FALSE(cut.optimal());
+  EXPECT_EQ(to_string(cut.status), "time-limit");
+}
+
+TEST(SimplexDeadline, GenerousBudgetMatchesUnlimitedOptimum) {
+  const LpModel m = overlapping_rows_model(60);
+  const LpSolution full = solve_lp(m);
+  ASSERT_TRUE(full.optimal());
+  SimplexOptions opts;
+  opts.time_limit_s = 30.0;
+  const LpSolution budgeted = solve_lp(m, opts);
+  ASSERT_TRUE(budgeted.optimal());
+  EXPECT_NEAR(budgeted.objective, full.objective,
+              1e-6 * std::max(1.0, std::abs(full.objective)));
+}
+
+TEST(SimplexDeadline, MergeFailedAttemptFoldsForensicsIntoStats) {
+  LpSolution out;
+  out.iterations = 10;
+  out.stats.iterations = 10;
+  out.stats.primal_iterations = 10;
+  SolverErrorContext context;
+  context.iterations = 7;
+  context.refactorizations = 3;
+  context.phase = "dual";
+  lp_detail::merge_failed_attempt(out, context);
+  EXPECT_EQ(out.iterations, 17);
+  EXPECT_EQ(out.stats.iterations, 17);
+  EXPECT_EQ(out.stats.dual_iterations, 7);
+  EXPECT_EQ(out.stats.primal_iterations, 10);
+  EXPECT_EQ(out.stats.refactorizations, 3);
+  // -1 context fields mean "unknown" and must not subtract.
+  lp_detail::merge_failed_attempt(out, SolverErrorContext{});
+  EXPECT_EQ(out.iterations, 17);
+  EXPECT_EQ(out.stats.refactorizations, 3);
 }
 
 }  // namespace

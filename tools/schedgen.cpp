@@ -11,6 +11,8 @@
 //   schedgen --topology ring --nodes 8 --convert sched.xml sched.schedbin
 //   schedgen --format schedbin --codec dict --convert in.schedbin out.schedbin
 //   schedgen --inspect sched.schedbin [--mmap]
+//   schedgen --topology genkautz --nodes 27 --failure-domain /var/lib/a2a/fo
+//   schedgen --topology genkautz --nodes 27 --inject e12,e40 --deadline-ms 250
 //
 // Repeat invocations with --cache-dir are served from the on-disk schedule
 // cache and skip the LP/MCF pipeline entirely.
@@ -31,6 +33,7 @@
 #include "container/schedbin.hpp"
 #include "core/api.hpp"
 #include "core/schedule_cache.hpp"
+#include "failover/manager.hpp"
 #include "graph/topologies.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -59,6 +62,9 @@ struct Args {
   std::string inspect;
   std::string trace_file;
   std::string metrics_file;
+  std::string failure_domain_dir;
+  std::string inject;
+  double deadline_ms = 250.0;
   bool stats = false;
   bool report_only = false;
   bool mmap = false;
@@ -90,6 +96,17 @@ void usage() {
       "                    chunk directory, then exit\n"
       "  --mmap            read --inspect/--convert input via mmap instead\n"
       "                    of slurping (--inspect reports the bytes read)\n"
+      "  --failure-domain DIR  enumerate the topology's failure domain\n"
+      "                    (every single link/node + spectral top-k link\n"
+      "                    pairs), batch-synthesize fallback schedules, and\n"
+      "                    store them in the library at DIR, then exit\n"
+      "  --inject SPEC     online re-scheduling drill: fail the links/nodes\n"
+      "                    of SPEC (e.g. e12,e40,n3), run the failover\n"
+      "                    ladder under --deadline-ms, report the rung and\n"
+      "                    timing, and emit the degraded schedule. With\n"
+      "                    --cache-dir (or a prior --failure-domain DIR as\n"
+      "                    --cache-dir) precomputed fallbacks are served\n"
+      "  --deadline-ms M   wall-clock budget for --inject (default 250)\n"
       "  --trace FILE      record a Chrome trace_event JSON of this run\n"
       "                    (open in chrome://tracing or Perfetto)\n"
       "  --metrics FILE    write the metrics registry as flat JSON on exit\n"
@@ -362,6 +379,74 @@ void print_metrics_table() {
   table.print(std::cerr);
 }
 
+/// --failure-domain DIR: the offline half of failover. Builds the healthy
+/// baseline, enumerates the failure domain, batch-synthesizes fallback
+/// schedules across the thread pool, and leaves them in the
+/// content-addressed library at DIR for --inject (or a production manager)
+/// to serve in microseconds.
+int run_failure_domain(const Args& args) {
+  const DiGraph topo = build_topology(args);
+  const Fabric fabric = build_fabric(args.fabric);
+  std::cerr << "topology: " << topo.summary() << ", fabric: " << fabric.name
+            << "\n";
+  FailoverOptions options;
+  options.library_dir = args.failure_domain_dir;
+  FailoverManager mgr(topo, fabric, options);
+  std::cerr << "healthy baseline: F = "
+            << mgr.healthy_schedule().concurrent_flow << "\n";
+  const std::vector<FailureSignature> domain = mgr.enumerate_domain();
+  const PrecomputeReport report = mgr.precompute(domain);
+  const ScheduleCacheStats stats = mgr.library().stats();
+  Table table({"domain", "stored", "disconnected", "failed", "seconds"});
+  table.row()
+      .cell(static_cast<long long>(report.attempted))
+      .cell(static_cast<long long>(report.stored))
+      .cell(static_cast<long long>(report.skipped_disconnected))
+      .cell(static_cast<long long>(report.failed))
+      .cell(report.seconds, 3);
+  table.print(std::cerr);
+  std::cerr << "library: " << mgr.library().disk_object_count()
+            << " artifacts on disk, " << stats.disk_dedups
+            << " deduplicated inserts\n";
+  return report.failed == 0 ? 0 : 1;
+}
+
+/// --inject SPEC: the online half. Parses the failure signature, runs the
+/// reschedule ladder under the deadline, reports which rung served and how
+/// long it took, and emits the degraded schedule through the normal output
+/// machinery.
+int run_inject(const Args& args, ThreadPool& pool) {
+  const DiGraph topo = build_topology(args);
+  const Fabric fabric = build_fabric(args.fabric);
+  const FailureSignature sig = FailureSignature::parse(args.inject, topo);
+  std::cerr << "topology: " << topo.summary() << ", fabric: " << fabric.name
+            << "\ninjecting: " << sig.to_string() << ", deadline "
+            << args.deadline_ms << " ms\n";
+  FailoverOptions options;
+  options.library_dir = !args.cache_dir.empty() ? args.cache_dir
+                                                : args.failure_domain_dir;
+  FailoverManager mgr(topo, fabric, options);
+  const FailoverResult result =
+      mgr.reschedule(sig, args.deadline_ms / 1000.0);
+  std::cerr << "served by: " << to_string(result.rung) << " in "
+            << result.elapsed_s * 1e3 << " ms (validation "
+            << result.validate_s * 1e3 << " ms), F = "
+            << result.schedule.concurrent_flow
+            << (result.validated ? "" : " [NOT VALIDATED]") << "\n";
+  if (!result.notes.empty()) std::cerr << "notes: " << result.notes << "\n";
+  if (!result.validated) return 1;
+  if (args.report_only || !result.schedule.path.has_value()) return 0;
+  const std::string payload =
+      args.format == "xml"
+          ? path_schedule_to_xml(result.schedule.schedule_graph,
+                                 *result.schedule.path)
+          : path_schedule_to_schedbin(result.schedule.schedule_graph,
+                                      *result.schedule.path,
+                                      bin_options_from(args, &pool));
+  write_output(payload, args.output);
+  return 0;
+}
+
 void write_text_file(const std::string& payload, const std::string& path,
                      const char* what) {
   std::ofstream out(path, std::ios::binary);
@@ -401,6 +486,9 @@ int main(int argc, char** argv) {
       args.convert_out = value();
     }
     else if (flag == "--inspect") args.inspect = value();
+    else if (flag == "--failure-domain") args.failure_domain_dir = value();
+    else if (flag == "--inject") args.inject = value();
+    else if (flag == "--deadline-ms") args.deadline_ms = std::stod(value());
     else if (flag == "--trace") args.trace_file = value();
     else if (flag == "--metrics") args.metrics_file = value();
     else if (flag == "--stats") args.stats = true;
@@ -451,6 +539,17 @@ int main(int argc, char** argv) {
     }
     if (!args.convert_in.empty()) {
       const int rc = run_convert(args);
+      finish_observability();
+      return rc;
+    }
+    if (!args.inject.empty()) {
+      ThreadPool pool;
+      const int rc = run_inject(args, pool);
+      finish_observability();
+      return rc;
+    }
+    if (!args.failure_domain_dir.empty()) {
+      const int rc = run_failure_domain(args);
       finish_observability();
       return rc;
     }
