@@ -67,14 +67,9 @@ inline std::string human_bytes(double bytes) {
 
 /// The global metrics registry as an embeddable JSON value (a flat object,
 /// no trailing newline) so BENCH_*.json records carry the run's telemetry.
-inline std::string metrics_snapshot_json() {
-  std::string json = obs::MetricsRegistry::global().to_json();
-  while (!json.empty() &&
-         std::isspace(static_cast<unsigned char>(json.back()))) {
-    json.pop_back();
-  }
-  return json;
-}
+/// One shared implementation with the schedserved /metrics endpoint and
+/// `schedgen --metrics`.
+inline std::string metrics_snapshot_json() { return obs::metrics_json(); }
 
 /// Appends one JSON object `record` to the trajectory array at `json_path`.
 /// BENCH_*.json files are histories — an array of run records, one appended

@@ -40,18 +40,25 @@ long long estimate_path_diversity(const DiGraph& g, int samples) {
   return worst;
 }
 
+std::optional<GeneratedSchedule> lookup_schedule(ScheduleCache* cache,
+                                                 const std::string& fingerprint) {
+  if (cache == nullptr) return std::nullopt;
+  auto cached = cache->lookup(fingerprint);
+  if (cached.has_value()) cached->from_cache = true;
+  return cached;
+}
+
 GeneratedSchedule generate_schedule(const DiGraph& topology,
                                     const Fabric& fabric,
                                     const ToolchainOptions& options,
                                     ScheduleCache* cache) {
-  if (cache == nullptr) return generate_schedule(topology, fabric, options);
+  if (cache == nullptr) return synthesize_schedule(topology, fabric, options);
   const std::string fingerprint =
       schedule_fingerprint(topology, fabric, options);
-  if (auto cached = cache->lookup(fingerprint)) {
-    cached->from_cache = true;
+  if (auto cached = lookup_schedule(cache, fingerprint)) {
     return std::move(*cached);
   }
-  GeneratedSchedule result = generate_schedule(topology, fabric, options);
+  GeneratedSchedule result = synthesize_schedule(topology, fabric, options);
   cache->insert(fingerprint, result);
   return result;
 }
@@ -59,6 +66,12 @@ GeneratedSchedule generate_schedule(const DiGraph& topology,
 GeneratedSchedule generate_schedule(const DiGraph& topology,
                                     const Fabric& fabric,
                                     const ToolchainOptions& options) {
+  return synthesize_schedule(topology, fabric, options);
+}
+
+GeneratedSchedule synthesize_schedule(const DiGraph& topology,
+                                      const Fabric& fabric,
+                                      const ToolchainOptions& options) {
   g_pipeline_invocations.fetch_add(1, std::memory_order_relaxed);
   A2A_COUNTER("pipeline.runs").inc();
   // The decision-flow annotations on this span record which Fig. 1 branch

@@ -69,9 +69,25 @@ struct GeneratedSchedule {
                                                   const Fabric& fabric,
                                                   const ToolchainOptions& options = {});
 
-/// Cache-aware variant: keys the request by schedule_fingerprint() and only
-/// runs the Fig. 1 pipeline on a miss, storing the result afterwards. With
-/// a null cache this is identical to the three-argument overload.
+/// The synthesis half of the fingerprint-first split the service layers
+/// build on: runs the Fig. 1 pipeline unconditionally, never consulting a
+/// cache. generate_schedule(topology, fabric, options) is this function;
+/// the name exists so call sites that already hold a fingerprint (the
+/// ScheduleBroker's coalesced miss path) say what they mean.
+[[nodiscard]] GeneratedSchedule synthesize_schedule(const DiGraph& topology,
+                                                    const Fabric& fabric,
+                                                    const ToolchainOptions& options = {});
+
+/// The lookup half: cached schedule for an already-computed fingerprint, or
+/// nullopt on miss (or null cache). Decoded-value tier semantics — the
+/// zero-copy byte path is ScheduleCache::lookup_artifact().
+[[nodiscard]] std::optional<GeneratedSchedule> lookup_schedule(
+    ScheduleCache* cache, const std::string& fingerprint);
+
+/// Cache-aware variant, now a thin composition of the fingerprint-first
+/// split: schedule_fingerprint() -> lookup_schedule() -> on miss,
+/// synthesize_schedule() + ScheduleCache::insert(). With a null cache this
+/// is identical to the three-argument overload.
 [[nodiscard]] GeneratedSchedule generate_schedule(const DiGraph& topology,
                                                   const Fabric& fabric,
                                                   const ToolchainOptions& options,

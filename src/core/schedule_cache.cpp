@@ -237,6 +237,43 @@ std::string generated_schedule_to_bytes(const GeneratedSchedule& schedule,
   return out;
 }
 
+ArtifactView parse_schedule_envelope(std::string_view envelope) {
+  A2A_REQUIRE(envelope.size() >= sizeof(kEntryMagic) + 2 + 4,
+              "cache entry too small: ", envelope.size(), " bytes");
+  A2A_REQUIRE(envelope.substr(0, 4) == std::string_view(kEntryMagic, 4),
+              "bad cache entry magic");
+  std::size_t pos = 4;
+  const auto version = static_cast<std::uint16_t>(read_uint(envelope, pos, 2));
+  A2A_REQUIRE(version == kEntryVersion, "unsupported cache entry version ",
+              version);
+  ArtifactView out;
+  out.envelope = envelope;
+  out.kind = static_cast<ScheduleKind>(read_uint(envelope, pos, 1));
+  pos += 1;  // has_link/has_path flags — implied by kind for a view.
+  out.concurrent_flow = std::bit_cast<double>(read_uint(envelope, pos, 8));
+  out.vc_layers = static_cast<int>(read_uint(envelope, pos, 4));
+  const auto num_terminals =
+      static_cast<std::uint32_t>(read_uint(envelope, pos, 4));
+  A2A_REQUIRE(pos + static_cast<std::size_t>(num_terminals) * 4 <=
+                  envelope.size(),
+              "cache entry terminals truncated");
+  pos += static_cast<std::size_t>(num_terminals) * 4;
+  pos += 4;  // graph node count
+  const auto num_edges = static_cast<std::uint32_t>(read_uint(envelope, pos, 4));
+  A2A_REQUIRE(pos + static_cast<std::size_t>(num_edges) * 16 <= envelope.size(),
+              "cache entry graph truncated");
+  pos += static_cast<std::size_t>(num_edges) * 16;
+  const auto notes_len = static_cast<std::uint32_t>(read_uint(envelope, pos, 4));
+  A2A_REQUIRE(pos + notes_len <= envelope.size(), "cache entry notes truncated");
+  pos += notes_len;
+  const std::uint64_t blob_len = read_uint(envelope, pos, 8);
+  A2A_REQUIRE(pos + blob_len + 4 == envelope.size(),
+              "cache entry blob length mismatch");
+  out.blob_offset = pos;
+  out.blob_size = static_cast<std::size_t>(blob_len);
+  return out;
+}
+
 GeneratedSchedule generated_schedule_from_bytes(std::string_view bytes) {
   A2A_REQUIRE(bytes.size() >= sizeof(kEntryMagic) + 2 + 4,
               "cache entry too small: ", bytes.size(), " bytes");
@@ -339,16 +376,23 @@ std::pair<std::vector<DiskArtifact>, std::uintmax_t> scan_artifacts(
   std::vector<DiskArtifact> out;
   std::uintmax_t total = 0;
   std::error_code ec;
+  // stat errors (a file GC'ed by a peer process mid-scan) skip the entry:
+  // file_size(ec) reports uintmax_t(-1) on failure, which would wreck the
+  // byte total.
   for (const auto& de : fs::directory_iterator(objects_dir(disk_dir), ec)) {
     if (!de.is_regular_file(ec) || de.path().extension() != ".schedbin") continue;
-    out.push_back({de.path(), de.path().stem().string(), de.file_size(ec),
+    const std::uintmax_t size = de.file_size(ec);
+    if (ec) continue;
+    out.push_back({de.path(), de.path().stem().string(), size,
                    de.last_write_time(ec)});
-    total += out.back().size;
+    total += size;
   }
   for (const auto& de : fs::directory_iterator(fs::path(disk_dir), ec)) {
     if (!de.is_regular_file(ec) || de.path().extension() != ".schedbin") continue;
-    out.push_back({de.path(), "", de.file_size(ec), de.last_write_time(ec)});
-    total += out.back().size;
+    const std::uintmax_t size = de.file_size(ec);
+    if (ec) continue;
+    out.push_back({de.path(), "", size, de.last_write_time(ec)});
+    total += size;
   }
   return {std::move(out), total};
 }
@@ -452,8 +496,75 @@ std::optional<GeneratedSchedule> ScheduleCache::lookup(
   return std::nullopt;
 }
 
-void ScheduleCache::insert(const std::string& fingerprint,
-                           const GeneratedSchedule& schedule) {
+std::optional<ArtifactView> ScheduleCache::lookup_artifact(
+    const std::string& fingerprint) {
+  obs::TraceSpan span("cache.lookup_artifact");
+  A2A_COUNTER("cache.lookups").inc();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+  }
+  if (!options_.disk_dir.empty()) {
+    bool had_ref = false;
+    const std::string path =
+        resolve_entry(options_.disk_dir, fingerprint, &had_ref);
+    if (!path.empty()) {
+      try {
+        auto mapping = std::make_shared<const MmapFile>(path);
+        ArtifactView view = parse_schedule_envelope(mapping->view());
+        // Header/trailer validation of the inner frame touches its first
+        // and last pages only; chunk payloads keep their own CRCs for the
+        // eventual decoder. An empty blob (a schedule with neither link nor
+        // path — never produced, but representable) has nothing to check.
+        if (view.blob_size > 0) {
+          (void)SchedBinReader::from_bytes(view.schedbin());
+        }
+        view.mapping = std::move(mapping);
+        if (options_.max_disk_bytes > 0) {
+          std::error_code ec;
+          fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_hits;
+        A2A_COUNTER("cache.disk_hits").inc();
+        span.annotate("disk hit (zero-copy)");
+        return view;
+      } catch (const std::exception&) {
+        std::error_code ec;
+        if (!fs::exists(path, ec)) {
+          // Not corruption: the object vanished between resolve and mmap
+          // (a concurrent GC won the race). Drop the dangling ref and
+          // degrade to a clean miss.
+          fs::remove(ref_path(options_.disk_dir, fingerprint), ec);
+          span.annotate("lost race with disk GC");
+        } else {
+          // Same corrupt-artifact contract as lookup(): quarantine, drop
+          // the ref, degrade to a miss so the caller re-synthesizes.
+          {
+            std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+            quarantine_object(options_.disk_dir, path);
+          }
+          fs::remove(ref_path(options_.disk_dir, fingerprint), ec);
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.disk_corrupt;
+          A2A_COUNTER("cache.disk_corrupt").inc();
+          span.annotate("corrupt artifact quarantined");
+        }
+      }
+    } else if (had_ref) {
+      std::error_code ec;
+      fs::remove(ref_path(options_.disk_dir, fingerprint), ec);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  A2A_COUNTER("cache.misses").inc();
+  span.annotate("miss");
+  return std::nullopt;
+}
+
+std::shared_ptr<const std::string> ScheduleCache::insert(
+    const std::string& fingerprint, const GeneratedSchedule& schedule) {
   obs::TraceSpan span("cache.insert");
   A2A_COUNTER("cache.insertions").inc();
   {
@@ -461,12 +572,16 @@ void ScheduleCache::insert(const std::string& fingerprint,
     ++stats_.insertions;
     insert_memory_locked(fingerprint, schedule);
   }
-  if (options_.disk_dir.empty()) return;
+  // The envelope is serialized even with the disk tier disabled: callers
+  // serving bytes (the broker's miss path) need it either way, and callers
+  // that don't simply drop the shared_ptr.
+  auto bytes_ptr = std::make_shared<const std::string>(
+      generated_schedule_to_bytes(schedule, options_.schedbin));
+  const std::string& bytes = *bytes_ptr;
+  if (options_.disk_dir.empty()) return bytes_ptr;
   // Serialization and file I/O stay outside the LRU mutex; disk_mutex_
   // serializes writers and the GC within this process, and atomic renames
   // keep a fleet of processes safe.
-  const std::string bytes =
-      generated_schedule_to_bytes(schedule, options_.schedbin);
   if (options_.max_disk_bytes > 0 && bytes.size() > options_.max_disk_bytes) {
     // Larger than the whole budget: writing it would only be GC'ed right
     // back (same never-admit rule as the memory tier), so skip the write
@@ -475,7 +590,7 @@ void ScheduleCache::insert(const std::string& fingerprint,
     ++stats_.disk_oversize_rejections;
     A2A_COUNTER("cache.disk_oversize_rejections").inc();
     span.annotate("disk oversize rejection");
-    return;
+    return bytes_ptr;
   }
   const std::string key = schedule_content_key(bytes);
   std::lock_guard<std::mutex> disk_lock(disk_mutex_);
@@ -520,6 +635,7 @@ void ScheduleCache::insert(const std::string& fingerprint,
     A2A_COUNTER("cache.disk_dedups").inc();
     span.annotate("disk dedup");
   }
+  return bytes_ptr;
 }
 
 void ScheduleCache::gc_disk() {
@@ -581,11 +697,13 @@ void ScheduleCache::gc_disk() {
 
 std::size_t ScheduleCache::disk_object_count() const {
   if (options_.disk_dir.empty()) return 0;
+  std::lock_guard<std::mutex> disk_lock(disk_mutex_);
   return scan_artifacts(options_.disk_dir).first.size();
 }
 
 std::size_t ScheduleCache::disk_bytes() const {
   if (options_.disk_dir.empty()) return 0;
+  std::lock_guard<std::mutex> disk_lock(disk_mutex_);
   return static_cast<std::size_t>(scan_artifacts(options_.disk_dir).second);
 }
 

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/mmap_file.hpp"
 #include "container/schedbin.hpp"
 #include "core/api.hpp"
 
@@ -95,6 +97,40 @@ struct ScheduleCacheStats {
                                                const Fabric& fabric,
                                                const ToolchainOptions& options);
 
+/// A served schedule artifact in its on-disk envelope form, without any
+/// decode: the envelope header fields plus the byte range of the inner
+/// SchedBin frame. The bytes live either in an mmap'd disk object
+/// (`mapping`) or a heap buffer (`bytes`) — exactly one owner is set and
+/// `envelope` views into it. This is the zero-copy serving currency of the
+/// schedule service: a transport can write schedbin() straight from the
+/// page cache to a socket, and the client's SchedBinReader decodes chunks
+/// on demand with per-chunk CRCs.
+struct ArtifactView {
+  std::shared_ptr<const MmapFile> mapping;     ///< disk-tier hits.
+  std::shared_ptr<const std::string> bytes;    ///< freshly serialized results.
+  std::string_view envelope;                   ///< the whole SBCE envelope.
+  std::size_t blob_offset = 0;                 ///< inner SchedBin frame start.
+  std::size_t blob_size = 0;
+  ScheduleKind kind = ScheduleKind::kLinkUnrolled;
+  double concurrent_flow = 0.0;
+  int vc_layers = 0;
+
+  [[nodiscard]] std::string_view schedbin() const {
+    return envelope.substr(blob_offset, blob_size);
+  }
+  [[nodiscard]] bool valid() const { return !envelope.empty(); }
+};
+
+/// Parses an envelope's metadata fields and locates the inner SchedBin
+/// frame WITHOUT decoding the schedule and without the whole-envelope CRC
+/// sweep (which would fault every mmap'd page — the opposite of zero-copy).
+/// Structural lies (truncated sections, lengths past the end) still throw;
+/// payload integrity is the inner frame's job: callers validate its
+/// header/trailer CRCs via SchedBinReader and every chunk carries its own
+/// CRC-32 checked at decode time. `mapping`/`bytes` of the result are left
+/// null — the caller owns the envelope's storage.
+[[nodiscard]] ArtifactView parse_schedule_envelope(std::string_view envelope);
+
 class ScheduleCache {
  public:
   explicit ScheduleCache(ScheduleCacheOptions options = {});
@@ -107,10 +143,23 @@ class ScheduleCache {
   [[nodiscard]] std::optional<GeneratedSchedule> lookup(
       const std::string& fingerprint);
 
+  /// Zero-copy lookup: resolves `fingerprint` to its disk artifact, mmaps
+  /// it, validates the inner SchedBin frame's header/trailer (a few pages,
+  /// not the whole file) and returns the view — the decoded memory tier is
+  /// neither consulted nor populated, so the hot serving path never pays a
+  /// decode. A corrupt artifact is quarantined exactly as in lookup() and
+  /// the call degrades to a miss. Counts into the same lookup/hit/miss
+  /// stats as lookup(). Always a miss when the disk tier is disabled.
+  [[nodiscard]] std::optional<ArtifactView> lookup_artifact(
+      const std::string& fingerprint);
+
   /// Stores `schedule` in the memory tier (evicting LRU entries past the
   /// byte budget) and, when a disk_dir is configured, writes (or dedups
-  /// against) the content-addressed artifact and its ref file.
-  void insert(const std::string& fingerprint, const GeneratedSchedule& schedule);
+  /// against) the content-addressed artifact and its ref file. Returns the
+  /// serialized envelope so callers that serve bytes (the ScheduleBroker)
+  /// reuse the exact artifact written instead of re-encoding.
+  std::shared_ptr<const std::string> insert(const std::string& fingerprint,
+                                            const GeneratedSchedule& schedule);
 
   [[nodiscard]] ScheduleCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
@@ -146,9 +195,12 @@ class ScheduleCache {
   std::unordered_map<std::string, Entry> entries_;
   std::size_t memory_bytes_ = 0;
   ScheduleCacheStats stats_;
-  /// Serializes disk writes + GC (reads stay lock-free; a read racing a GC
-  /// deletion degrades to a miss).
-  std::mutex disk_mutex_;
+  /// Serializes disk writes + GC + directory scans (artifact reads stay
+  /// lock-free; a read racing a GC deletion degrades to a miss). mutable:
+  /// the const observers disk_object_count()/disk_bytes() scan under it —
+  /// unprotected they would race a concurrent GC's renames and count
+  /// vanished files as size -1.
+  mutable std::mutex disk_mutex_;
   /// Running artifact-byte total, seeded by one scan on the first
   /// budgeted insert and maintained incrementally so inserts do not pay an
   /// O(artifacts) directory walk while under budget. Other processes'

@@ -1,13 +1,16 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/table.hpp"
 
 namespace a2a::obs {
 
@@ -171,6 +174,46 @@ std::string MetricsRegistry::to_json() const {
   os << (first ? "}" : "\n}");
   os << "\n";
   return os.str();
+}
+
+std::string metrics_json() {
+  std::string json = MetricsRegistry::global().to_json();
+  while (!json.empty() &&
+         std::isspace(static_cast<unsigned char>(json.back()))) {
+    json.pop_back();
+  }
+  return json;
+}
+
+void write_metrics_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  A2A_REQUIRE(out.good(), "cannot open metrics file: ", path);
+  out << MetricsRegistry::global().to_json();
+  A2A_REQUIRE(out.good(), "short write to metrics file: ", path);
+}
+
+void print_metrics_table(std::ostream& os) {
+  Table table({"metric", "kind", "value", "sum_ms", "p50_ms", "p99_ms"});
+  for (const MetricSample& s : MetricsRegistry::global().snapshot()) {
+    table.row().cell(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        table.cell("counter").cell(static_cast<long long>(s.value));
+        table.cell("-").cell("-").cell("-");
+        break;
+      case MetricKind::kGauge:
+        table.cell("gauge").cell(static_cast<long long>(s.value));
+        table.cell("-").cell("-").cell("-");
+        break;
+      case MetricKind::kHistogram:
+        table.cell("histogram").cell(static_cast<long long>(s.value));
+        table.cell(static_cast<double>(s.sum_ns) / 1e6, 3);
+        table.cell(static_cast<double>(s.p50_ns) / 1e6, 3);
+        table.cell(static_cast<double>(s.p99_ns) / 1e6, 3);
+        break;
+    }
+  }
+  table.print(os);
 }
 
 void MetricsRegistry::reset_all() {

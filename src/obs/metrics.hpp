@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -201,6 +202,23 @@ class MetricsRegistry {
   struct Impl;
   Impl& impl() const;
 };
+
+// The one snapshot-export implementation every consumer shares — the
+// schedserved /metrics endpoint, `schedgen --metrics/--stats`, and the
+// bench JSON records all call these instead of hand-rolling export code.
+
+/// The global registry as an embeddable flat JSON value: to_json() with
+/// trailing whitespace trimmed, so it splices into larger documents
+/// (BENCH_*.json records, HTTP response bodies).
+[[nodiscard]] std::string metrics_json();
+
+/// Writes the global registry's flat JSON (newline-terminated) to `path`.
+/// Throws on I/O failure.
+void write_metrics_json(const std::string& path);
+
+/// Renders the global registry as an aligned human-readable table
+/// (histogram times in milliseconds; p50/p99 are bucket upper bounds).
+void print_metrics_table(std::ostream& os);
 
 }  // namespace a2a::obs
 

@@ -547,5 +547,143 @@ TEST(ScheduleCache, NullCacheBehavesLikePlainCall) {
   EXPECT_FALSE(r.from_cache);
 }
 
+TEST(ScheduleCache, InsertReturnsTheExactEnvelopeWritten) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  ScheduleCache cache(std::move(options));
+  const GeneratedSchedule schedule = make_sized(50, 3);
+  const auto bytes = cache.insert("fp", schedule);
+  ASSERT_TRUE(bytes);
+  // The returned buffer IS the serialized envelope the disk artifact holds.
+  EXPECT_EQ(*bytes, generated_schedule_to_bytes(schedule, {}));
+  std::ifstream in(cache.entry_path("fp"), std::ios::binary);
+  std::ostringstream on_disk;
+  on_disk << in.rdbuf();
+  EXPECT_EQ(on_disk.str(), *bytes);
+  // And parse_schedule_envelope locates the inner frame without a decode.
+  const ArtifactView view = parse_schedule_envelope(*bytes);
+  EXPECT_TRUE(view.valid());
+  EXPECT_GT(view.blob_size, 0u);
+  EXPECT_EQ(view.kind, schedule.kind);
+  EXPECT_DOUBLE_EQ(view.concurrent_flow, schedule.concurrent_flow);
+  const SchedBinReader reader = SchedBinReader::from_bytes(view.schedbin());
+  EXPECT_EQ(reader.info().record_count,
+            static_cast<std::uint64_t>(schedule.link->transfers.size()));
+}
+
+TEST(ScheduleCache, LookupArtifactServesMmapWithoutDecode) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  ScheduleCache cache(std::move(options));
+  const GeneratedSchedule schedule = make_sized(80, 4);
+  const auto bytes = cache.insert("fp", schedule);
+
+  const auto view = cache.lookup_artifact("fp");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->mapping);  // zero-copy: the disk object's pages.
+  EXPECT_FALSE(view->bytes);
+  EXPECT_EQ(std::string(view->envelope), *bytes);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  // The artifact path stays byte-path only: the decoded memory tier was
+  // neither consulted nor populated.
+  EXPECT_EQ(cache.size(), 1u);  // insert() populated it...
+  cache.clear();
+  EXPECT_TRUE(cache.lookup_artifact("fp").has_value());
+  EXPECT_EQ(cache.size(), 0u);  // ...lookup_artifact() does not.
+
+  EXPECT_FALSE(cache.lookup_artifact("absent").has_value());
+}
+
+TEST(ScheduleCache, LookupArtifactQuarantinesCorruptObjects) {
+  const TempDir dir;
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  ScheduleCache cache(std::move(options));
+  cache.insert("fp", make_sized(80, 5));
+  const std::string path = cache.entry_path("fp");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("GARB", 4);  // destroy the envelope magic.
+  }
+  EXPECT_FALSE(cache.lookup_artifact("fp").has_value());
+  EXPECT_EQ(cache.stats().disk_corrupt, 1u);
+  EXPECT_FALSE(fs::exists(path));  // moved into quarantine/.
+}
+
+TEST(ScheduleCache, ConcurrentHammerStaysConsistent) {
+  // Satellite audit gate: every public operation from many threads at once,
+  // with eviction pressure on both tiers, must neither throw nor corrupt
+  // the counters. Disk GC racing mmap'd readers is safe by construction
+  // (POSIX keeps unlinked pages alive); a reader racing a deletion degrades
+  // to a miss.
+  const TempDir dir;
+  std::size_t artifact_bytes = 0;
+  {
+    ScheduleCacheOptions probe_options;
+    probe_options.disk_dir = (dir.path / "probe").string();
+    ScheduleCache probe(std::move(probe_options));
+    probe.insert("probe", make_sized(120, 0));
+    artifact_bytes = probe.disk_bytes();
+  }
+  ScheduleCacheOptions options;
+  options.disk_dir = dir.path.string();
+  options.max_memory_bytes = 64 * 1024;       // forces LRU evictions.
+  options.max_disk_bytes = artifact_bytes * 3;  // forces disk GC.
+  ScheduleCache cache(std::move(options));
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 60;
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int tag = (t + i) % 6;
+        const std::string fp = "fp" + std::to_string(tag);
+        switch (i % 4) {
+          case 0:
+            cache.insert(fp, make_sized(120, tag));
+            break;
+          case 1:
+            if (const auto hit = cache.lookup(fp)) {
+              ASSERT_EQ(static_cast<int>(hit->concurrent_flow), tag);
+              served.fetch_add(1);
+            }
+            break;
+          case 2:
+            if (const auto view = cache.lookup_artifact(fp)) {
+              // Decode the served bytes even if GC unlinks the object
+              // underneath us — the mmap pins the pages.
+              const GeneratedSchedule decoded =
+                  generated_schedule_from_bytes(view->envelope);
+              ASSERT_EQ(static_cast<int>(decoded.concurrent_flow), tag);
+              served.fetch_add(1);
+            }
+            break;
+          case 3:
+            (void)cache.stats();
+            (void)cache.disk_object_count();
+            (void)cache.disk_bytes();
+            (void)cache.entry_path(fp);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ScheduleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, stats.memory_hits + stats.disk_hits + stats.misses);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(stats.disk_corrupt, 0u);
+  // The budgets held despite the concurrency.
+  EXPECT_LE(cache.memory_bytes(), 64u * 1024u);
+  EXPECT_LE(cache.disk_bytes(), artifact_bytes * 3);
+}
+
 }  // namespace
 }  // namespace a2a

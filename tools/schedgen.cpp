@@ -34,9 +34,9 @@
 #include "core/api.hpp"
 #include "core/schedule_cache.hpp"
 #include "failover/manager.hpp"
-#include "graph/topologies.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/request.hpp"
 #include "schedule/stats.hpp"
 #include "schedule/validate.hpp"
 #include "schedule/xml_io.hpp"
@@ -114,41 +114,22 @@ void usage() {
       "  --report-only     print the report, skip the schedule output\n";
 }
 
+/// Topology/fabric construction is shared with the schedule service
+/// (schedserved's query strings and these flags resolve through the same
+/// builders, so both produce the same fingerprints).
 DiGraph build_topology(const Args& args) {
-  Rng rng(args.seed);
-  if (args.topology == "torus3d") {
-    std::vector<int> dims;
-    std::stringstream ss(args.dims);
-    std::string token;
-    while (std::getline(ss, token, 'x')) dims.push_back(std::stoi(token));
-    return make_torus(dims);
-  }
-  if (args.topology == "torus2d") return make_torus_2d(args.nodes);
-  if (args.topology == "hypercube") return make_hypercube(args.dim);
-  if (args.topology == "twisted") return make_twisted_hypercube(args.dim);
-  if (args.topology == "bipartite") {
-    return make_complete_bipartite(args.nodes / 2, args.nodes - args.nodes / 2);
-  }
-  if (args.topology == "ring") return make_ring(args.nodes);
-  if (args.topology == "genkautz") return make_generalized_kautz(args.nodes, args.degree);
-  if (args.topology == "debruijn") return make_de_bruijn(2, args.dim);
-  if (args.topology == "xpander") {
-    return make_xpander(args.degree, args.nodes / (args.degree + 1), rng);
-  }
-  if (args.topology == "randomregular") {
-    return make_random_regular(args.nodes, args.degree, rng);
-  }
-  if (args.topology == "dragonfly") {
-    return make_dragonfly(args.degree + 1, args.degree, 1);
-  }
-  throw InvalidArgument("unknown topology: " + args.topology);
+  service::TopologySpec spec;
+  spec.topology = args.topology;
+  spec.dims = args.dims;
+  spec.nodes = args.nodes;
+  spec.degree = args.degree;
+  spec.dim = args.dim;
+  spec.seed = args.seed;
+  return service::build_topology(spec);
 }
 
 Fabric build_fabric(const std::string& name) {
-  if (name == "cerio") return hpc_cerio_fabric();
-  if (name == "gpu") return gpu_mscl_fabric();
-  if (name == "oneccl") return cpu_oneccl_fabric();
-  throw InvalidArgument("unknown fabric: " + name);
+  return service::build_fabric(name);
 }
 
 std::string read_file(const std::string& path) {
@@ -352,33 +333,6 @@ int run_convert(const Args& args) {
   return 0;
 }
 
-/// --stats: the metrics registry as an aligned table on stderr (stdout may
-/// be carrying the schedule payload). Histogram times are reported in
-/// milliseconds; p50/p99 are bucket upper bounds.
-void print_metrics_table() {
-  Table table({"metric", "kind", "value", "sum_ms", "p50_ms", "p99_ms"});
-  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
-    table.row().cell(s.name);
-    switch (s.kind) {
-      case obs::MetricKind::kCounter:
-        table.cell("counter").cell(static_cast<long long>(s.value));
-        table.cell("-").cell("-").cell("-");
-        break;
-      case obs::MetricKind::kGauge:
-        table.cell("gauge").cell(static_cast<long long>(s.value));
-        table.cell("-").cell("-").cell("-");
-        break;
-      case obs::MetricKind::kHistogram:
-        table.cell("histogram").cell(static_cast<long long>(s.value));
-        table.cell(static_cast<double>(s.sum_ns) / 1e6, 3);
-        table.cell(static_cast<double>(s.p50_ns) / 1e6, 3);
-        table.cell(static_cast<double>(s.p99_ns) / 1e6, 3);
-        break;
-    }
-  }
-  table.print(std::cerr);
-}
-
 /// --failure-domain DIR: the offline half of failover. Builds the healthy
 /// baseline, enumerates the failure domain, batch-synthesizes fallback
 /// schedules across the thread pool, and leaves them in the
@@ -527,10 +481,12 @@ int main(int argc, char** argv) {
         }
       }
       if (!args.metrics_file.empty()) {
-        write_text_file(obs::MetricsRegistry::global().to_json(),
-                        args.metrics_file, "metrics");
+        // Same export the schedserved /metrics endpoint serves.
+        obs::write_metrics_json(args.metrics_file);
+        std::cerr << "metrics: wrote " << args.metrics_file << "\n";
       }
-      if (args.stats) print_metrics_table();
+      // --stats on stderr: stdout may be carrying the schedule payload.
+      if (args.stats) obs::print_metrics_table(std::cerr);
     };
     if (!args.inspect.empty()) {
       const int rc = run_inspect(args);
