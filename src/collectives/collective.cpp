@@ -1,0 +1,127 @@
+#include "collectives/collective.hpp"
+
+#include "common/error.hpp"
+
+namespace a2a {
+
+namespace {
+
+/// Per-partition sizes from the spec's row means: for a row-skewed spec
+/// (zipf) p_r equals the row weight exactly; for uniform p == 1.
+std::vector<double> partition_sizes(const DemandMatrix& m) {
+  const int n = m.num_terminals();
+  std::vector<double> p(static_cast<std::size_t>(n), 0.0);
+  if (n <= 1) return p;
+  for (int r = 0; r < n; ++r) {
+    p[static_cast<std::size_t>(r)] = m.row_sum(r) / static_cast<double>(n - 1);
+  }
+  return p;
+}
+
+DemandMatrix column_pattern(const std::vector<double>& p) {
+  const int n = static_cast<int>(p.size());
+  DemandMatrix m(n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      m.set(s, d, p[static_cast<std::size_t>(d)]);
+    }
+  }
+  return m;
+}
+
+DemandMatrix row_pattern(const std::vector<double>& p) {
+  const int n = static_cast<int>(p.size());
+  DemandMatrix m(n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      m.set(s, d, p[static_cast<std::size_t>(s)]);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+const char* collective_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllToAll:
+      return "a2a";
+    case CollectiveKind::kReduceScatter:
+      return "rs";
+    case CollectiveKind::kAllGather:
+      return "ag";
+    case CollectiveKind::kAllReduce:
+      return "allreduce";
+  }
+  return "a2a";
+}
+
+CollectiveKind collective_from_name(std::string_view name) {
+  if (name == "a2a" || name == "alltoall") return CollectiveKind::kAllToAll;
+  if (name == "rs" || name == "reduce-scatter") {
+    return CollectiveKind::kReduceScatter;
+  }
+  if (name == "ag" || name == "all-gather") return CollectiveKind::kAllGather;
+  if (name == "allreduce" || name == "ar") return CollectiveKind::kAllReduce;
+  throw InvalidArgument("unknown collective: " + std::string(name));
+}
+
+std::string WorkloadSpec::to_string() const {
+  return std::string(collective_name(collective)) + "/" + demand.to_string();
+}
+
+bool CollectivePlan::has_traffic() const {
+  for (const CollectiveStage& stage : stages) {
+    if (stage.demand.num_positive() > 0) return true;
+  }
+  return false;
+}
+
+CollectivePlan lower_collective(CollectiveKind kind, int num_terminals,
+                                const DemandSpec& demand) {
+  A2A_REQUIRE(num_terminals >= 0, "negative terminal count");
+  CollectivePlan plan;
+  plan.kind = kind;
+  if (num_terminals <= 1) return plan;  // nothing to communicate
+  const DemandMatrix base = demand.instantiate(num_terminals);
+  switch (kind) {
+    case CollectiveKind::kAllToAll:
+      plan.stages.push_back(CollectiveStage{"a2a", base});
+      break;
+    case CollectiveKind::kReduceScatter:
+      plan.stages.push_back(
+          CollectiveStage{"reduce-scatter", column_pattern(partition_sizes(base))});
+      break;
+    case CollectiveKind::kAllGather:
+      plan.stages.push_back(
+          CollectiveStage{"all-gather", row_pattern(partition_sizes(base))});
+      break;
+    case CollectiveKind::kAllReduce: {
+      const std::vector<double> p = partition_sizes(base);
+      plan.stages.push_back(CollectiveStage{"reduce-scatter", column_pattern(p)});
+      plan.stages.push_back(CollectiveStage{"all-gather", row_pattern(p)});
+      break;
+    }
+  }
+  return plan;
+}
+
+DemandMatrix effective_demand(const WorkloadSpec& workload, int num_terminals) {
+  const CollectivePlan plan =
+      lower_collective(workload.collective, num_terminals, workload.demand);
+  DemandMatrix out(num_terminals, 0.0);
+  for (const CollectiveStage& stage : plan.stages) {
+    for (int s = 0; s < num_terminals; ++s) {
+      for (int d = 0; d < num_terminals; ++d) {
+        if (s == d) continue;
+        const double w = out.at(s, d) + stage.demand.at(s, d);
+        out.set(s, d, w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace a2a

@@ -1,0 +1,80 @@
+// Collective lowering — reduce-scatter, all-gather and allreduce expressed
+// as restricted all-to-all demand patterns, so every collective rides the
+// existing LP / chunking / compile / validate / cache / serve pipeline.
+//
+// The lowering works over a per-partition size vector p (derived from the
+// demand spec's row means; uniform spec => p == 1):
+//   reduce-scatter : rank s ships partition d of its contribution to d,
+//                    so D(s,d) = p_d  (column-constant pattern);
+//   all-gather     : rank s owns reduced partition s and broadcasts it,
+//                    so D(s,d) = p_s  (row-constant pattern);
+//   allreduce      : reduce-scatter then all-gather over the same p — the
+//                    two stages compose, and the single-schedule view the
+//                    service serves is their overlaid traffic D_rs + D_ag
+//                    (per-pair bytes of the full composed collective).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collectives/demand.hpp"
+
+namespace a2a {
+
+enum class CollectiveKind : std::uint8_t {
+  kAllToAll = 0,
+  kReduceScatter = 1,
+  kAllGather = 2,
+  kAllReduce = 3,
+};
+
+/// Canonical short name (a2a | rs | ag | allreduce).
+[[nodiscard]] const char* collective_name(CollectiveKind kind);
+/// Accepts the canonical names plus the long aliases reduce-scatter /
+/// all-gather / ar / alltoall. Throws InvalidArgument otherwise.
+[[nodiscard]] CollectiveKind collective_from_name(std::string_view name);
+
+/// What the caller wants synthesized: which collective, over which demand
+/// shape. The default (uniform all-to-all) is the pre-existing behavior and
+/// is elided from fingerprints and canonical queries.
+struct WorkloadSpec {
+  CollectiveKind collective = CollectiveKind::kAllToAll;
+  DemandSpec demand;
+
+  [[nodiscard]] bool is_default() const { return *this == WorkloadSpec{}; }
+  /// "a2a/uniform", "rs/zipf:1.2", ... — used in notes and reports.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// One lowered stage: an all-to-all-shaped demand to synthesize a schedule
+/// for. Stages of one plan execute in order (the all-gather of an allreduce
+/// starts only after its reduce-scatter completes).
+struct CollectiveStage {
+  std::string name;
+  DemandMatrix demand;
+};
+
+struct CollectivePlan {
+  CollectiveKind kind = CollectiveKind::kAllToAll;
+  std::vector<CollectiveStage> stages;
+
+  /// False when no stage moves any bytes (n <= 1, or an all-zero demand).
+  [[nodiscard]] bool has_traffic() const;
+};
+
+/// Lowers a collective over `num_terminals` ranks to its demand stages.
+/// n <= 1 yields a plan with no stages — a one-rank collective is a no-op.
+[[nodiscard]] CollectivePlan lower_collective(CollectiveKind kind,
+                                             int num_terminals,
+                                             const DemandSpec& demand = {});
+
+/// The single demand matrix the Fig. 1 pipeline synthesizes for a workload:
+/// the lone stage's demand for a2a / rs / ag, and the stage sum (overlaid
+/// traffic) for allreduce.
+[[nodiscard]] DemandMatrix effective_demand(const WorkloadSpec& workload,
+                                            int num_terminals);
+
+}  // namespace a2a

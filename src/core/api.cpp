@@ -83,6 +83,24 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
   const int degree = topology.max_out_degree();
   const double nic_bw = degree * fabric.link_GBps;
 
+  // Non-default workloads lower to a demand matrix over the branch's
+  // terminal set (the hosts after augmentation); the default stays on the
+  // nullptr fast path so the uniform pipeline is untouched byte-for-byte.
+  std::optional<DemandMatrix> demand_storage;
+  const auto resolve_demand =
+      [&](const std::vector<NodeId>& term) -> const DemandMatrix* {
+    if (options.workload.is_default()) return nullptr;
+    demand_storage =
+        effective_demand(options.workload, static_cast<int>(term.size()));
+    if (demand_storage->total() <= 0.0) {
+      throw InvalidArgument("workload " + options.workload.to_string() +
+                            " lowers to an all-zero demand matrix");
+    }
+    out.notes += "workload " + options.workload.to_string() + "; ";
+    pipeline_span.annotate("workload=" + options.workload.to_string());
+    return &*demand_storage;
+  };
+
   if (!fabric.nic_forwarding) {
     // Link-based branch. Model the host bottleneck if injection < d*b.
     pipeline_span.annotate("branch=link (NICs cannot forward)");
@@ -97,18 +115,20 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
       terminals.resize(static_cast<std::size_t>(aug.num_hosts));
       out.notes += "host-bottleneck augmentation applied; ";
     }
+    const DemandMatrix* demand = resolve_demand(terminals);
     if (n <= options.exact_tsmcf_limit) {
       pipeline_span.annotate("solver=exact tsMCF (n <= exact_tsmcf_limit)");
       const int steps = diameter(graph) + 1;
       const TsMcfSolution ts = [&] {
         A2A_TRACE_SPAN("stage.solve", "exact tsMCF LP, " +
                                           std::to_string(steps) + " steps");
-        return solve_tsmcf_exact(graph, steps, terminals, options.mcf.lp);
+        return solve_tsmcf_exact(graph, steps, terminals, options.mcf.lp,
+                                 nullptr, LpWarmMode::kAuto, demand);
       }();
       out.kind = ScheduleKind::kLinkTsMcf;
       out.link = [&] {
         A2A_TRACE_SPAN("stage.compile", "tsMCF link schedule");
-        return compile_tsmcf_schedule(graph, ts, options.chunking);
+        return compile_tsmcf_schedule(graph, ts, options.chunking, demand);
       }();
       out.concurrent_flow = 1.0 / ts.total_utilization;
       out.notes += "exact tsMCF LP";
@@ -116,11 +136,12 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
       pipeline_span.annotate("solver=decomposed MCF (n > exact_tsmcf_limit)");
       const LinkFlowSolution flows = [&] {
         A2A_TRACE_SPAN("stage.solve", "decomposed MCF");
-        return solve_decomposed_mcf(graph, terminals, options.mcf);
+        return solve_decomposed_mcf(graph, terminals, options.mcf, nullptr,
+                                    nullptr, demand);
       }();
       const auto commodity_paths = [&] {
         A2A_TRACE_SPAN("stage.extract", "paths from link flows");
-        return paths_from_link_flows(graph, flows);
+        return paths_from_link_flows(graph, flows, demand);
       }();
       UnrollOptions uo;
       uo.chunking = options.chunking;
@@ -140,12 +161,14 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
   // Path-based branch.
   pipeline_span.annotate("branch=path (NIC forwarding)");
   const std::vector<NodeId> terminals = all_nodes(topology);
+  const DemandMatrix* demand = resolve_demand(terminals);
   const long long diversity = estimate_path_diversity(topology);
   PathSchedule schedule;
   if (diversity <= options.path_diversity_threshold) {
     pipeline_span.annotate("solver=pMCF (path diversity " +
                            std::to_string(diversity) + " <= threshold)");
-    const PathSet candidates = build_disjoint_path_set(topology, terminals);
+    const PathSet candidates =
+        build_disjoint_path_set(topology, terminals, demand);
     if (n <= options.mcf.exact_master_limit) {
       const PathMcfSolution sol = [&] {
         A2A_TRACE_SPAN("stage.solve", "exact pMCF LP");
@@ -174,17 +197,18 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
       out.concurrent_flow = sol.concurrent_flow;
     }
     out.kind = ScheduleKind::kPathPMcf;
-    out.notes = "pMCF on link-disjoint candidates";
+    out.notes += "pMCF on link-disjoint candidates";
   } else {
     pipeline_span.annotate("solver=MCF-extP (path diversity " +
                            std::to_string(diversity) + " > threshold)");
     const LinkFlowSolution flows = [&] {
       A2A_TRACE_SPAN("stage.solve", "decomposed MCF");
-      return solve_decomposed_mcf(topology, terminals, options.mcf);
+      return solve_decomposed_mcf(topology, terminals, options.mcf, nullptr,
+                                  nullptr, demand);
     }();
     const auto commodity_paths = [&] {
       A2A_TRACE_SPAN("stage.extract", "widest-path extraction");
-      return paths_from_link_flows(topology, flows);
+      return paths_from_link_flows(topology, flows, demand);
     }();
     schedule = [&] {
       A2A_TRACE_SPAN("stage.compile", "path schedule");
@@ -192,7 +216,7 @@ GeneratedSchedule synthesize_schedule(const DiGraph& topology,
     }();
     out.concurrent_flow = flows.concurrent_flow;
     out.kind = ScheduleKind::kPathExtracted;
-    out.notes = "decomposed MCF + widest-path extraction (MCF-extP)";
+    out.notes += "decomposed MCF + widest-path extraction (MCF-extP)";
   }
   out.vc_layers = assign_layers(topology, schedule, VcOrdering::kShortestFirst);
   if (out.vc_layers > options.vc_max_layers_warn) {

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "collectives/collective.hpp"
 #include "graph/digraph.hpp"
 #include "mcf/decomposed.hpp"
 #include "runtime/fabric.hpp"
@@ -43,6 +44,10 @@ struct ToolchainOptions {
   /// for finer fidelity.
   ChunkingOptions chunking{.max_denominator = 24, .min_fraction = 1e-3};
   int vc_max_layers_warn = 4;
+  /// Which collective over which demand shape to synthesize. The default
+  /// (uniform all-to-all) is the historical behavior; it is elided from
+  /// fingerprints so pre-existing cache entries stay valid.
+  WorkloadSpec workload{};
 };
 
 struct GeneratedSchedule {

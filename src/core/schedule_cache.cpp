@@ -174,6 +174,11 @@ std::string schedule_fingerprint(const DiGraph& topology, const Fabric& fabric,
   feed_i64(buf, options.chunking.max_denominator);
   feed_double(buf, options.chunking.min_fraction);
   feed_i64(buf, options.vc_max_layers_warn);
+  // Fed only when non-default so every fingerprint minted before workloads
+  // existed (and every on-disk cache entry stored under one) stays valid.
+  if (!options.workload.is_default()) {
+    feed_str(buf, options.workload.to_string());
+  }
 
   return hex128(fnv1a(buf, 0), fnv1a(buf, 0x9e3779b97f4a7c15ULL));
 }

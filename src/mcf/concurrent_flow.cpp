@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "collectives/demand.hpp"
+
 namespace a2a {
 
 TerminalPairs::TerminalPairs(std::vector<NodeId> terminals)
@@ -45,19 +47,25 @@ std::vector<NodeId> all_nodes(const DiGraph& g) {
 }
 
 LpModel build_link_mcf_model(const DiGraph& g, const TerminalPairs& pairs,
-                             int* f_var_out) {
+                             int* f_var_out, const DemandMatrix* demand) {
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == pairs.num_terminals(),
+                "demand matrix size does not match terminal count");
+  }
   const int E = g.num_edges();
   const int K = pairs.count();
   LpModel model(Sense::kMaximize);
   // Variables: f[(s,d), e] laid out commodity-major, then F last. Flow of a
   // commodity leaving its sink or entering its source is useless circulation
-  // and is fixed to zero via bounds.
+  // and is fixed to zero via bounds; so is every variable of a zero-weight
+  // commodity.
   for (int k = 0; k < K; ++k) {
     const auto [s, d] = pairs.nodes(k);
+    const bool zero = demand_weight(demand, pairs, k) <= 0.0;
     for (int e = 0; e < E; ++e) {
       const Edge& edge = g.edge(e);
       const bool useless = edge.from == d || edge.to == s;
-      model.add_variable(0.0, useless ? 0.0 : kInfinity, 0.0);
+      model.add_variable(0.0, (useless || zero) ? 0.0 : kInfinity, 0.0);
     }
   }
   const int f_var = model.add_variable(0.0, kInfinity, 1.0);
@@ -78,10 +86,15 @@ LpModel build_link_mcf_model(const DiGraph& g, const TerminalPairs& pairs,
       for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(k, e), 1.0);
       for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(k, e), -1.0);
     }
-    // (4) demand at the sink: in(d) - F >= 0.
-    const int demand = model.add_row(RowType::kGreaterEqual, 0.0);
-    for (const EdgeId e : g.in_edges(d)) model.add_coefficient(demand, var(k, e), 1.0);
-    model.add_coefficient(demand, f_var, -1.0);
+    // (4) demand at the sink: in(d) - w_k * F >= 0. A zero-weight commodity
+    // keeps its (trivially satisfied) row so the model shape is independent
+    // of the weights — only coefficients change.
+    const double w = demand_weight(demand, pairs, k);
+    const int demand_row = model.add_row(RowType::kGreaterEqual, 0.0);
+    for (const EdgeId e : g.in_edges(d)) {
+      model.add_coefficient(demand_row, var(k, e), 1.0);
+    }
+    if (w > 0.0) model.add_coefficient(demand_row, f_var, -w);
   }
   return model;
 }
@@ -89,13 +102,14 @@ LpModel build_link_mcf_model(const DiGraph& g, const TerminalPairs& pairs,
 LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
                                       const std::vector<NodeId>& terminals,
                                       const SimplexOptions& lp, LpBasis* warm,
-                                      LpWarmMode warm_mode) {
+                                      LpWarmMode warm_mode,
+                                      const DemandMatrix* demand) {
   A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
   TerminalPairs pairs(terminals);
   const int E = g.num_edges();
   const int K = pairs.count();
   int f_var = -1;
-  const LpModel model = build_link_mcf_model(g, pairs, &f_var);
+  const LpModel model = build_link_mcf_model(g, pairs, &f_var, demand);
   auto var = [&](int k, int e) { return link_mcf_var(E, k, e); };
 
   const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);
@@ -121,12 +135,19 @@ LinkFlowSolution solve_link_mcf_exact(const DiGraph& g,
 GroupedFlowSolution solve_master_lp(const DiGraph& g,
                                     const std::vector<NodeId>& terminals,
                                     const SimplexOptions& lp, LpBasis* warm,
-                                    LpWarmMode warm_mode) {
+                                    LpWarmMode warm_mode,
+                                    const DemandMatrix* demand) {
   A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
   const int E = g.num_edges();
   const int S = static_cast<int>(terminals.size());
-  std::vector<bool> is_terminal(static_cast<std::size_t>(g.num_nodes()), false);
-  for (const NodeId t : terminals) is_terminal[static_cast<std::size_t>(t)] = true;
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == S,
+                "demand matrix size does not match terminal count");
+  }
+  std::vector<int> terminal_index(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (int s = 0; s < S; ++s) {
+    terminal_index[static_cast<std::size_t>(terminals[static_cast<std::size_t>(s)])] = s;
+  }
 
   LpModel model(Sense::kMaximize);
   // Grouped flow back into its own source is useless; fix it to zero.
@@ -145,7 +166,7 @@ GroupedFlowSolution solve_master_lp(const DiGraph& g,
     const int row = model.add_row(RowType::kLessEqual, g.edge(e).capacity);
     for (int s = 0; s < S; ++s) model.add_coefficient(row, var(s, e), 1.0);
   }
-  // (8) grouped conservation: at terminal u != s, F + out <= in; at
+  // (8) grouped conservation: at terminal u != s, w(s,u)·F + out <= in; at
   // non-terminal forwarders, out <= in.
   for (int s = 0; s < S; ++s) {
     const NodeId src = terminals[static_cast<std::size_t>(s)];
@@ -154,8 +175,10 @@ GroupedFlowSolution solve_master_lp(const DiGraph& g,
       const int row = model.add_row(RowType::kLessEqual, 0.0);
       for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(s, e), 1.0);
       for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(s, e), -1.0);
-      if (is_terminal[static_cast<std::size_t>(u)]) {
-        model.add_coefficient(row, f_var, 1.0);
+      const int u_idx = terminal_index[static_cast<std::size_t>(u)];
+      if (u_idx >= 0) {
+        const double w = demand == nullptr ? 1.0 : demand->at(s, u_idx);
+        if (w > 0.0) model.add_coefficient(row, f_var, w);
       }
     }
   }
@@ -184,10 +207,15 @@ GroupedFlowSolution solve_master_lp(const DiGraph& g,
 std::vector<std::vector<double>> solve_child_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
     const std::vector<double>& source_flow, double F,
-    const SimplexOptions& lp, LpBasis* warm, LpWarmMode warm_mode) {
+    const SimplexOptions& lp, LpBasis* warm, LpWarmMode warm_mode,
+    const DemandMatrix* demand) {
   const int E = g.num_edges();
   const int S = static_cast<int>(terminals.size());
   A2A_REQUIRE(source_index >= 0 && source_index < S, "source index out of range");
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == S,
+                "demand matrix size does not match terminal count");
+  }
   A2A_REQUIRE(source_flow.size() == static_cast<std::size_t>(E),
               "source flow vector size mismatch");
   const NodeId src = terminals[static_cast<std::size_t>(source_index)];
@@ -221,9 +249,15 @@ std::vector<std::vector<double>> solve_child_lp(
       for (const EdgeId e : g.out_edges(u)) model.add_coefficient(row, var(slot, e), 1.0);
       for (const EdgeId e : g.in_edges(u)) model.add_coefficient(row, var(slot, e), -1.0);
     }
-    // (13) demand: in(dst) >= F (tiny slack for LP round-off).
-    const int demand = model.add_row(RowType::kGreaterEqual, F - 1e-9);
-    for (const EdgeId e : g.in_edges(dst)) model.add_coefficient(demand, var(slot, e), 1.0);
+    // (13) demand: in(dst) >= w(s,dst)·F (tiny slack for LP round-off).
+    const double w = demand == nullptr
+                         ? 1.0
+                         : demand->at(source_index,
+                                      dest_of_slot[static_cast<std::size_t>(slot)]);
+    const int demand_row = model.add_row(RowType::kGreaterEqual, w * F - 1e-9);
+    for (const EdgeId e : g.in_edges(dst)) {
+      model.add_coefficient(demand_row, var(slot, e), 1.0);
+    }
   }
 
   const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);

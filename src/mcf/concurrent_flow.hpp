@@ -15,6 +15,8 @@
 
 namespace a2a {
 
+class DemandMatrix;  // collectives/demand.hpp; nullptr params mean unit demand
+
 /// Ordered pairs over a terminal set. On plain fabrics the terminals are all
 /// nodes; on Fig. 2-augmented graphs they are the host nodes only.
 class TerminalPairs {
@@ -80,38 +82,46 @@ struct GroupedFlowSolution {
 /// Builds the link-MCF LP (eqs. 1–5) without solving it. Variables follow
 /// link_mcf_var() with the concurrent rate F last (`*f_var`). Exposed so
 /// benchmarks and tests can time/inspect the exact model the solver entry
-/// points run.
+/// points run. A non-null `demand` weights each commodity's demand row by
+/// w_k (eq. 4 becomes in(d) >= w_k * F); zero-weight commodities get their
+/// variables fixed to zero. A unit matrix builds the identical model to
+/// nullptr — the weighted path is a strict generalization.
 [[nodiscard]] LpModel build_link_mcf_model(const DiGraph& g,
                                            const TerminalPairs& pairs,
-                                           int* f_var = nullptr);
+                                           int* f_var = nullptr,
+                                           const DemandMatrix* demand = nullptr);
 
 /// Exact link-based MCF (eqs. 1–5). Tractable only at small N (the point of
 /// Fig. 7); throws SolverError if the LP fails numerically. A non-null
 /// `warm` is used as the LP starting basis when non-empty and is overwritten
 /// with the final basis, so sweeps over perturbed instances (Fig. 9) restart
-/// near-optimal.
+/// near-optimal. F is per unit demand: commodity k receives w_k * F.
 [[nodiscard]] LinkFlowSolution solve_link_mcf_exact(
     const DiGraph& g, const std::vector<NodeId>& terminals,
     const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
-    LpWarmMode warm_mode = LpWarmMode::kAuto);
+    LpWarmMode warm_mode = LpWarmMode::kAuto,
+    const DemandMatrix* demand = nullptr);
 
 /// Exact master LP (eqs. 6–9): grouped source-rooted commodities. Warm-start
-/// semantics as in solve_link_mcf_exact().
+/// semantics as in solve_link_mcf_exact(). With `demand`, the grouped
+/// conservation row (eq. 8) requires w(s,u) * F net inflow at terminal u.
 [[nodiscard]] GroupedFlowSolution solve_master_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals,
     const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
-    LpWarmMode warm_mode = LpWarmMode::kAuto);
+    LpWarmMode warm_mode = LpWarmMode::kAuto,
+    const DemandMatrix* demand = nullptr);
 
 /// Exact child LP (eqs. 10–14) for one source: splits the master's
 /// per-source aggregate flow into per-destination flows at rate F.
 /// Returns flows indexed [destination terminal index][edge]; the source's
 /// own slot is left empty. Child LPs of different sources share their shape,
 /// so one source's final basis (`warm`, in/out) seeds the next source's
-/// solve.
+/// solve. With `demand`, destination d's demand row asks for w(s,d) * F.
 [[nodiscard]] std::vector<std::vector<double>> solve_child_lp(
     const DiGraph& g, const std::vector<NodeId>& terminals, int source_index,
     const std::vector<double>& source_flow, double F,
     const SimplexOptions& lp = {}, LpBasis* warm = nullptr,
-    LpWarmMode warm_mode = LpWarmMode::kAuto);
+    LpWarmMode warm_mode = LpWarmMode::kAuto,
+    const DemandMatrix* demand = nullptr);
 
 }  // namespace a2a

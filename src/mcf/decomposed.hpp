@@ -54,15 +54,19 @@ struct DecomposedTiming {
 /// runs over the same fabric shape (cache misses, sweeps) restart
 /// near-optimal. Child LPs share a shape across sources: the first child's
 /// basis seeds the remaining parallel children automatically.
+/// With a non-null `demand`, F is the common rate per unit demand (sink d of
+/// source s receives w(s,d)·F); zero-weight sinks are dropped from their
+/// source's child problem and silent sources skip the child stage entirely.
 [[nodiscard]] LinkFlowSolution solve_decomposed_mcf(
     const DiGraph& g, const std::vector<NodeId>& terminals,
     const DecomposedOptions& options = {}, DecomposedTiming* timing = nullptr,
-    LpBasis* master_warm = nullptr);
+    LpBasis* master_warm = nullptr, const DemandMatrix* demand = nullptr);
 
 /// Master stage only (mode-dispatched); exposed for Fig. 7's breakdown.
 [[nodiscard]] GroupedFlowSolution solve_master(const DiGraph& g,
                                                const std::vector<NodeId>& terminals,
                                                const DecomposedOptions& options = {},
-                                               LpBasis* master_warm = nullptr);
+                                               LpBasis* master_warm = nullptr,
+                                               const DemandMatrix* demand = nullptr);
 
 }  // namespace a2a

@@ -132,15 +132,25 @@ MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
                                 const std::vector<NodeId>& sinks,
                                 const std::vector<double>& cap,
                                 double sink_cap, double tol) {
+  return split_source_flow(g, s, sinks, cap,
+                           std::vector<double>(sinks.size(), sink_cap), tol);
+}
+
+MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
+                                const std::vector<NodeId>& sinks,
+                                const std::vector<double>& cap,
+                                const std::vector<double>& sink_caps,
+                                double tol) {
   A2A_REQUIRE(cap.size() == static_cast<std::size_t>(g.num_edges()),
               "capacity vector size mismatch");
+  A2A_REQUIRE(sink_caps.size() == sinks.size(), "sink cap vector size mismatch");
   const std::size_t n = static_cast<std::size_t>(g.num_nodes());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
 
   // Max-flow by widest augmenting paths on the residual graph. Residual
   // widths: forward = cap - f, backward = f.
   std::vector<double> f(m, 0.0);
-  std::vector<double> sink_remaining(sinks.size(), sink_cap);
+  std::vector<double> sink_remaining = sink_caps;
   std::vector<int> sink_index(n, -1);
   for (std::size_t i = 0; i < sinks.size(); ++i) {
     sink_index[static_cast<std::size_t>(sinks[i])] = static_cast<int>(i);
@@ -210,7 +220,7 @@ MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
   MultiSinkFlow out;
   out.delivered.assign(sinks.size(), 0.0);
   for (std::size_t i = 0; i < sinks.size(); ++i) {
-    out.delivered[i] = sink_cap - sink_remaining[i];
+    out.delivered[i] = sink_caps[i] - sink_remaining[i];
   }
   out.per_sink_flow.assign(sinks.size(), std::vector<double>(m, 0.0));
 

@@ -64,4 +64,13 @@ struct MultiSinkFlow {
                                               double sink_cap,
                                               double tol = 1e-9);
 
+/// Per-sink-capacity overload for weighted demands: sink i absorbs at most
+/// sink_caps[i] (= w(s, sink_i) · F in the decomposed pipeline). The scalar
+/// overload is the uniform special case.
+[[nodiscard]] MultiSinkFlow split_source_flow(const DiGraph& g, NodeId s,
+                                              const std::vector<NodeId>& sinks,
+                                              const std::vector<double>& cap,
+                                              const std::vector<double>& sink_caps,
+                                              double tol = 1e-9);
+
 }  // namespace a2a

@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "collectives/demand.hpp"
 #include "graph/algorithms.hpp"
 
 namespace a2a {
@@ -38,10 +39,16 @@ double initial_length_delta(double epsilon, int num_edges) {
 
 GroupedFlowSolution fleischer_grouped(const DiGraph& g,
                                       const std::vector<NodeId>& terminals,
-                                      const FleischerOptions& options) {
+                                      const FleischerOptions& options,
+                                      const DemandMatrix* demand) {
   A2A_REQUIRE(terminals.size() >= 2, "need at least two terminals");
   A2A_REQUIRE(options.epsilon > 0.0 && options.epsilon < 0.5,
               "epsilon must be in (0, 0.5)");
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == static_cast<int>(terminals.size()),
+                "demand matrix size does not match terminal count");
+    A2A_REQUIRE(demand->total() > 0.0, "all-zero demand matrix");
+  }
   const auto start = std::chrono::steady_clock::now();
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
   const int S = static_cast<int>(terminals.size());
@@ -65,7 +72,7 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
 
   // Hoisted out of the phase loop: per-sink remaining demand and the
   // per-step edge request accumulator (reset via its touched set).
-  std::vector<double> demand(static_cast<std::size_t>(S), 0.0);
+  std::vector<double> sink_demand(static_cast<std::size_t>(S), 0.0);
   std::vector<double> request(m, 0.0);
   std::vector<EdgeId> requested;
   requested.reserve(m);
@@ -77,19 +84,27 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
     ++phases;
     for (int si = 0; si < S; ++si) {
       const NodeId s = terminals[static_cast<std::size_t>(si)];
-      // Remaining demand of 1 towards every other terminal this phase.
-      std::fill(demand.begin(), demand.end(), 1.0);
-      demand[static_cast<std::size_t>(si)] = 0.0;
+      // Remaining demand of w(si,di) (1 when unweighted) towards every
+      // other terminal this phase. An all-zero row exits the routing loop
+      // immediately below, so silent sources cost one pass, no Dijkstra.
+      if (demand == nullptr) {
+        std::fill(sink_demand.begin(), sink_demand.end(), 1.0);
+      } else {
+        for (int di = 0; di < S; ++di) {
+          sink_demand[static_cast<std::size_t>(di)] = demand->at(si, di);
+        }
+      }
+      sink_demand[static_cast<std::size_t>(si)] = 0.0;
       for (int guard = 0; guard < 64 * S + 1024; ++guard) {
         double remaining = 0.0;
-        for (const double d : demand) remaining += d;
+        for (const double d : sink_demand) remaining += d;
         if (remaining <= 1e-12) break;
         // Shortest-path tree under the current lengths; route every sink's
         // remaining demand along it, capacity-limited by a common factor.
         const DijkstraTree tree = dijkstra_tree(g, s, length);
         requested.clear();
         for (int di = 0; di < S; ++di) {
-          const double dem = demand[static_cast<std::size_t>(di)];
+          const double dem = sink_demand[static_cast<std::size_t>(di)];
           if (dem <= 0.0) continue;
           NodeId at = terminals[static_cast<std::size_t>(di)];
           while (at != s) {
@@ -115,7 +130,7 @@ GroupedFlowSolution fleischer_grouped(const DiGraph& g,
           dual += cap[es] * (grown - length[es]);
           length[es] = grown;
         }
-        for (auto& d : demand) d -= gamma * d;
+        for (auto& d : sink_demand) d -= gamma * d;
       }
     }
   }
@@ -168,11 +183,15 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
 
   PathFlowSolution out;
   out.weights.resize(K);
+  double total_demand = 0.0;
   for (std::size_t k = 0; k < K; ++k) {
     A2A_REQUIRE(!paths.candidates[k].empty(), "commodity ", k,
                 " has no candidate paths");
+    A2A_REQUIRE(paths.demand_of(k) >= 0.0, "negative commodity demand");
+    total_demand += paths.demand_of(k);
     out.weights[k].assign(paths.candidates[k].size(), 0.0);
   }
+  A2A_REQUIRE(total_demand > 0.0, "path set carries no demand");
 
   long long phases = 0;
   while (dual < 1.0 && phases < options.max_phases) {
@@ -180,7 +199,7 @@ PathFlowSolution fleischer_paths(const DiGraph& g, const PathSet& paths,
     if (phases > 0 && phase_deadline_hit(options, start)) break;
     ++phases;
     for (std::size_t k = 0; k < K; ++k) {
-      double demand = 1.0;
+      double demand = paths.demand_of(k);
       for (int guard = 0; guard < 4096 && demand > 1e-12; ++guard) {
         // Cheapest candidate under current lengths.
         std::size_t best = 0;

@@ -32,17 +32,28 @@ struct FleischerOptions {
 };
 
 /// Grouped-source concurrent flow: demands are 1 from every terminal to
-/// every other terminal; the result reports feasible per-source flows after
-/// congestion rescaling, and F = achieved common rate.
+/// every other terminal (or w(s,d) under a non-null demand matrix); the
+/// result reports feasible per-source flows after congestion rescaling, and
+/// F = achieved common rate per unit demand (sink d of source s receives
+/// w(s,d)·F). A unit matrix routes identically to nullptr.
 [[nodiscard]] GroupedFlowSolution fleischer_grouped(
     const DiGraph& g, const std::vector<NodeId>& terminals,
-    const FleischerOptions& options = {});
+    const FleischerOptions& options = {},
+    const DemandMatrix* demand = nullptr);
 
 /// Candidate path sets for the restricted-path variant (= the pMCF of
 /// §3.1.4 solved approximately): commodities[i] flows only on candidates[i].
+/// `demands` carries per-commodity weights; empty means unit demand for all
+/// (the pre-existing all-to-all shape). Zero-weight pairs are never added
+/// by the builders, so every listed commodity moves bytes.
 struct PathSet {
   std::vector<std::pair<NodeId, NodeId>> commodities;
   std::vector<std::vector<Path>> candidates;
+  std::vector<double> demands;
+
+  [[nodiscard]] double demand_of(std::size_t k) const {
+    return demands.empty() ? 1.0 : demands[k];
+  }
 };
 
 struct PathFlowSolution {

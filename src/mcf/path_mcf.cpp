@@ -2,20 +2,41 @@
 
 #include <algorithm>
 
+#include "collectives/demand.hpp"
 #include "graph/algorithms.hpp"
 
 namespace a2a {
 
+namespace {
+
+void check_demand_shape(const DemandMatrix* demand,
+                        const std::vector<NodeId>& terminals) {
+  if (demand == nullptr) return;
+  A2A_REQUIRE(demand->num_terminals() == static_cast<int>(terminals.size()),
+              "demand matrix size does not match terminal count");
+}
+
+}  // namespace
+
 PathSet build_disjoint_path_set(const DiGraph& g,
-                                const std::vector<NodeId>& terminals) {
+                                const std::vector<NodeId>& terminals,
+                                const DemandMatrix* demand) {
+  check_demand_shape(demand, terminals);
   PathSet set;
-  for (const NodeId s : terminals) {
-    for (const NodeId t : terminals) {
+  for (std::size_t si = 0; si < terminals.size(); ++si) {
+    const NodeId s = terminals[si];
+    for (std::size_t ti = 0; ti < terminals.size(); ++ti) {
+      const NodeId t = terminals[ti];
       if (s == t) continue;
+      const double w = demand == nullptr
+                           ? 1.0
+                           : demand->at(static_cast<int>(si), static_cast<int>(ti));
+      if (w <= 0.0) continue;
       auto paths = edge_disjoint_paths(g, s, t);
       A2A_REQUIRE(!paths.empty(), "no path between terminals ", s, " and ", t);
       set.commodities.emplace_back(s, t);
       set.candidates.push_back(std::move(paths));
+      if (demand != nullptr) set.demands.push_back(w);
     }
   }
   return set;
@@ -23,17 +44,26 @@ PathSet build_disjoint_path_set(const DiGraph& g,
 
 PathSet build_shortest_path_set(const DiGraph& g,
                                 const std::vector<NodeId>& terminals,
-                                int per_pair_limit, bool* truncated) {
+                                int per_pair_limit, bool* truncated,
+                                const DemandMatrix* demand) {
+  check_demand_shape(demand, terminals);
   if (truncated != nullptr) *truncated = false;
   PathSet set;
-  for (const NodeId s : terminals) {
-    for (const NodeId t : terminals) {
+  for (std::size_t si = 0; si < terminals.size(); ++si) {
+    const NodeId s = terminals[si];
+    for (std::size_t ti = 0; ti < terminals.size(); ++ti) {
+      const NodeId t = terminals[ti];
       if (s == t) continue;
+      const double w = demand == nullptr
+                           ? 1.0
+                           : demand->at(static_cast<int>(si), static_cast<int>(ti));
+      if (w <= 0.0) continue;
       bool trunc = false;
       auto paths = enumerate_shortest_paths(g, s, t, per_pair_limit, &trunc);
       if (trunc && truncated != nullptr) *truncated = true;
       set.commodities.emplace_back(s, t);
       set.candidates.push_back(std::move(paths));
+      if (demand != nullptr) set.demands.push_back(w);
     }
   }
   return set;
@@ -70,12 +100,12 @@ PathMcfSolution solve_path_mcf_impl(const DiGraph& g, const PathSet& paths,
         model.add_coefficient(cap_row[static_cast<std::size_t>(e)], v, 1.0);
       }
     }
-    // (23) demand row.
+    // (23) demand row: path flow >= d_k · F (d_k == 1 when unweighted).
     const int row = model.add_row(RowType::kGreaterEqual, 0.0);
     for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
       model.add_coefficient(row, first_var[k] + static_cast<int>(p), 1.0);
     }
-    model.add_coefficient(row, f_var, -1.0);
+    model.add_coefficient(row, f_var, -paths.demand_of(k));
   }
 
   const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);
@@ -127,11 +157,13 @@ double max_link_load(const DiGraph& g, const PathSet& paths,
               "weights shape mismatch");
   std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (std::size_t k = 0; k < weights.size(); ++k) {
+    const double dk = paths.demand_of(k);
+    if (dk <= 0.0) continue;
     double total = 0.0;
     for (const double w : weights[k]) total += w;
     A2A_REQUIRE(total > 0.0, "commodity ", k, " has zero total weight");
     for (std::size_t p = 0; p < weights[k].size(); ++p) {
-      const double share = weights[k][p] / total;
+      const double share = dk * (weights[k][p] / total);
       if (share <= 0.0) continue;
       for (const EdgeId e : paths.candidates[k][p]) {
         load[static_cast<std::size_t>(e)] += share / g.edge(e).capacity;

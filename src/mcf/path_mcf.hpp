@@ -15,10 +15,15 @@
 namespace a2a {
 
 /// Candidate set builders -----------------------------------------------
+///
+/// With a non-null `demand`, zero-weight pairs are omitted from the set and
+/// PathSet::demands records each kept commodity's weight; nullptr keeps the
+/// historical all-pairs shape with `demands` left empty (unit).
 
 /// Maximal link-disjoint path sets for every ordered terminal pair.
 [[nodiscard]] PathSet build_disjoint_path_set(const DiGraph& g,
-                                              const std::vector<NodeId>& terminals);
+                                              const std::vector<NodeId>& terminals,
+                                              const DemandMatrix* demand = nullptr);
 
 /// All shortest paths per pair, truncated at `per_pair_limit`; `truncated`
 /// (optional) reports whether any pair hit the limit — the Fig. 1
@@ -26,7 +31,8 @@ namespace a2a {
 [[nodiscard]] PathSet build_shortest_path_set(const DiGraph& g,
                                               const std::vector<NodeId>& terminals,
                                               int per_pair_limit = 64,
-                                              bool* truncated = nullptr);
+                                              bool* truncated = nullptr,
+                                              const DemandMatrix* demand = nullptr);
 
 /// Exact path-based MCF LP. Result weights align with `paths.candidates`.
 struct PathMcfSolution {
@@ -59,9 +65,10 @@ struct PathMcfSolution {
                                                       LpBasis* warm = nullptr,
                                                       LpWarmMode warm_mode = LpWarmMode::kAuto);
 
-/// Max per-edge load if each commodity splits its unit demand over its
-/// candidate paths with the given weights (weights are normalized per
-/// commodity first). 1/load is the achieved concurrent rate.
+/// Max per-edge load if each commodity splits its demand (unit, or
+/// PathSet::demands when set) over its candidate paths with the given
+/// weights (weights are normalized per commodity first). 1/load is the
+/// achieved concurrent rate per unit demand.
 [[nodiscard]] double max_link_load(const DiGraph& g, const PathSet& paths,
                                    const std::vector<std::vector<double>>& weights);
 

@@ -1,13 +1,19 @@
 #include "mcf/timestepped.hpp"
 
+#include "collectives/demand.hpp"
 #include "graph/algorithms.hpp"
 
 namespace a2a {
 
 LpModel build_tsmcf_model(const DiGraph& g, int steps,
                           const TerminalPairs& pairs,
-                          std::vector<int>* u_vars) {
+                          std::vector<int>* u_vars,
+                          const DemandMatrix* demand) {
   A2A_REQUIRE(steps >= 1, "tsMCF needs >= 1 step");
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == pairs.num_terminals(),
+                "demand matrix size does not match terminal count");
+  }
   const int K = pairs.count();
   const int E = g.num_edges();
 
@@ -25,8 +31,11 @@ LpModel build_tsmcf_model(const DiGraph& g, int steps,
   auto var = [&](int k, int e, int t) { return tsmcf_var(E, steps, k, e, t); };
   for (int k = 0; k < K; ++k) {
     const auto [s, d] = pairs.nodes(k);
-    A2A_REQUIRE(dist_from[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] <= steps,
-                "steps below the (s,d) distance — schedule infeasible");
+    const double w = demand_weight(demand, pairs, k);
+    if (w > 0.0) {
+      A2A_REQUIRE(dist_from[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] <= steps,
+                  "steps below the (s,d) distance — schedule infeasible");
+    }
     for (int e = 0; e < E; ++e) {
       const Edge& edge = g.edge(e);
       const int earliest =
@@ -34,10 +43,10 @@ LpModel build_tsmcf_model(const DiGraph& g, int steps,
       const int tail =
           dist_to[static_cast<std::size_t>(d)][static_cast<std::size_t>(edge.to)];
       for (int t = 1; t <= steps; ++t) {
-        const bool useless = edge.to == s || edge.from == d ||
+        const bool useless = w <= 0.0 || edge.to == s || edge.from == d ||
                              earliest == kUnreachable || tail == kUnreachable ||
                              t < earliest + 1 || t > steps - tail;
-        model.add_variable(0.0, useless ? 0.0 : 1.0, 0.0);
+        model.add_variable(0.0, useless ? 0.0 : w, 0.0);
       }
     }
   }
@@ -81,12 +90,15 @@ LpModel build_tsmcf_model(const DiGraph& g, int steps,
         for (int t = 1; t <= steps; ++t) model.add_coefficient(row, var(k, e, t), -1.0);
       }
     }
-    // (19): one full shard leaves s and one arrives at d.
-    const int src_row = model.add_row(RowType::kEqual, 1.0);
+    // (19): the full w_k-unit shard leaves s and arrives at d (w_k == 1 for
+    // unit demand; zero-weight commodities get trivially satisfied rows so
+    // the model shape does not depend on the weights).
+    const double w = demand_weight(demand, pairs, k);
+    const int src_row = model.add_row(RowType::kEqual, w);
     for (const EdgeId e : g.out_edges(s)) {
       for (int t = 1; t <= steps; ++t) model.add_coefficient(src_row, var(k, e, t), 1.0);
     }
-    const int dst_row = model.add_row(RowType::kEqual, 1.0);
+    const int dst_row = model.add_row(RowType::kEqual, w);
     for (const EdgeId e : g.in_edges(d)) {
       for (int t = 1; t <= steps; ++t) model.add_coefficient(dst_row, var(k, e, t), 1.0);
     }
@@ -98,12 +110,13 @@ LpModel build_tsmcf_model(const DiGraph& g, int steps,
 TsMcfSolution solve_tsmcf_exact(const DiGraph& g, int steps,
                                 const std::vector<NodeId>& terminals,
                                 const SimplexOptions& lp, LpBasis* warm,
-                                LpWarmMode warm_mode) {
+                                LpWarmMode warm_mode,
+                                const DemandMatrix* demand) {
   TerminalPairs pairs(terminals);
   const int K = pairs.count();
   const int E = g.num_edges();
   std::vector<int> u_var;
-  const LpModel model = build_tsmcf_model(g, steps, pairs, &u_var);
+  const LpModel model = build_tsmcf_model(g, steps, pairs, &u_var, demand);
   auto var = [&](int k, int e, int t) { return tsmcf_var(E, steps, k, e, t); };
 
   const LpSolution sol = solve_lp_warm(model, lp, warm, warm_mode);

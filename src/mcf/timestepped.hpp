@@ -42,10 +42,15 @@ struct TsMcfSolution {
 /// Builds the tsMCF LP (eqs. 15–20) without solving it. Variables follow
 /// tsmcf_var() with the per-step peak-utilization variables U_t appended
 /// last (`*u_vars`, one per step). Exposed so benchmarks and tests can
-/// time/inspect the exact model solve_tsmcf_exact runs.
+/// time/inspect the exact model solve_tsmcf_exact runs. With `demand`,
+/// commodity k ships a shard of w_k units (eq. 19 rhs and the per-variable
+/// upper bound become w_k; zero-weight commodities are fixed to zero and
+/// exempt from the distance feasibility check). A unit matrix builds the
+/// identical model to nullptr.
 [[nodiscard]] LpModel build_tsmcf_model(const DiGraph& g, int steps,
                                         const TerminalPairs& pairs,
-                                        std::vector<int>* u_vars = nullptr);
+                                        std::vector<int>* u_vars = nullptr,
+                                        const DemandMatrix* demand = nullptr);
 
 /// Exact tsMCF. The LP grows as O(K * E * steps) variables, so this is for
 /// small fabrics (the paper's N=8/N=27 testbeds; N=27 already requires the
@@ -57,6 +62,7 @@ struct TsMcfSolution {
                                               const std::vector<NodeId>& terminals,
                                               const SimplexOptions& lp = {},
                                               LpBasis* warm = nullptr,
-                                              LpWarmMode warm_mode = LpWarmMode::kAuto);
+                                              LpWarmMode warm_mode = LpWarmMode::kAuto,
+                                              const DemandMatrix* demand = nullptr);
 
 }  // namespace a2a

@@ -37,6 +37,15 @@ std::vector<Rational> snap_to_unit_fractions(const std::vector<double>& values,
   return fractions;
 }
 
+Rational snap_demand(double weight, const ChunkingOptions& options) {
+  A2A_REQUIRE(weight > 0.0 && std::isfinite(weight),
+              "demand weight must be positive to chunk");
+  const std::int64_t D = options.max_denominator;
+  const auto num = std::max<std::int64_t>(
+      1, std::llround(weight * static_cast<double>(D)));
+  return Rational(num, D);
+}
+
 Rational fractions_hcf(const std::vector<Rational>& fractions) {
   Rational h(0);
   for (const Rational& f : fractions) {

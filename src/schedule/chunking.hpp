@@ -29,6 +29,14 @@ struct ChunkingOptions {
 [[nodiscard]] std::vector<Rational> snap_to_unit_fractions(
     const std::vector<double>& values, const ChunkingOptions& options = {});
 
+/// Snaps a per-commodity demand weight onto the same k/D grid used by
+/// snap_to_unit_fractions, clamped to at least one grid cell so any positive
+/// weight moves at least one chunk. Weight 1 snaps to exactly Rational(1),
+/// which keeps the uniform pipeline bit-identical when fractions are scaled
+/// by the result.
+[[nodiscard]] Rational snap_demand(double weight,
+                                   const ChunkingOptions& options = {});
+
 /// Highest common factor of the non-zero fractions (the base chunk size).
 [[nodiscard]] Rational fractions_hcf(const std::vector<Rational>& fractions);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "collectives/demand.hpp"
 #include "obs/trace.hpp"
 
 namespace a2a {
@@ -121,7 +122,8 @@ std::vector<SpaceTimePath> decompose_commodity(
 }  // namespace
 
 LinkSchedule compile_tsmcf_schedule(const DiGraph& g, const TsMcfSolution& ts,
-                                    const ChunkingOptions& options) {
+                                    const ChunkingOptions& options,
+                                    const DemandMatrix* demand) {
   LinkSchedule sched;
   sched.num_nodes = g.num_nodes();
   sched.num_steps = ts.steps;
@@ -130,12 +132,17 @@ LinkSchedule compile_tsmcf_schedule(const DiGraph& g, const TsMcfSolution& ts,
                                     " commodities");
   for (int k = 0; k < ts.pairs.count(); ++k) {
     const auto [s, d] = ts.pairs.nodes(k);
+    const double w = demand_weight(demand, ts.pairs, k);
+    if (w <= 0.0) continue;  // zero-weight commodities move no bytes
     const auto st_paths =
         decompose_commodity(g, s, d, ts.flow[static_cast<std::size_t>(k)]);
     if (st_paths.empty()) continue;
     std::vector<double> weights(st_paths.size());
     for (std::size_t p = 0; p < st_paths.size(); ++p) weights[p] = st_paths[p].weight;
     const auto fractions = snap_to_unit_fractions(weights, options);
+    // Scale the unit tiling to the commodity's shard multiple: chunks tile
+    // [0, w_r). snap_demand(1) == 1, so unit demand is untouched.
+    const Rational w_r = snap_demand(w, options);
     Rational offset(0);
     for (std::size_t p = 0; p < st_paths.size(); ++p) {
       if (fractions[p].is_zero()) continue;
@@ -143,7 +150,7 @@ LinkSchedule compile_tsmcf_schedule(const DiGraph& g, const TsMcfSolution& ts,
       chunk.src = s;
       chunk.dst = d;
       chunk.lo = offset;
-      chunk.hi = offset + fractions[p];
+      chunk.hi = offset + fractions[p] * w_r;
       offset = chunk.hi;
       for (const auto& [e, step] : st_paths[p].hops) {
         sched.transfers.push_back(
@@ -155,17 +162,21 @@ LinkSchedule compile_tsmcf_schedule(const DiGraph& g, const TsMcfSolution& ts,
 }
 
 std::vector<CommodityPaths> paths_from_link_flows(const DiGraph& g,
-                                                  const LinkFlowSolution& flows) {
+                                                  const LinkFlowSolution& flows,
+                                                  const DemandMatrix* demand) {
   std::vector<CommodityPaths> out;
   out.reserve(static_cast<std::size_t>(flows.pairs.count()));
   for (int k = 0; k < flows.pairs.count(); ++k) {
     const auto [s, d] = flows.pairs.nodes(k);
+    const double w = demand_weight(demand, flows.pairs, k);
+    if (w <= 0.0) continue;  // zero-weight commodities have no routes
     CommodityPaths cp;
     cp.src = s;
     cp.dst = d;
+    cp.demand = w;
     cp.paths = extract_widest_paths(g, s, d,
                                     flows.per_commodity[static_cast<std::size_t>(k)],
-                                    flows.concurrent_flow);
+                                    w * flows.concurrent_flow);
     A2A_REQUIRE(!cp.paths.empty(), "no extractable path for commodity ", s,
                 "->", d);
     out.push_back(std::move(cp));
@@ -197,7 +208,13 @@ LinkSchedule unroll_rate_schedule(const DiGraph& g,
     for (const CommodityPaths& cp : commodities) {
       std::vector<double> weights(cp.paths.size());
       for (std::size_t p = 0; p < cp.paths.size(); ++p) weights[p] = cp.paths[p].weight;
-      fraction_sets.push_back(snap_to_unit_fractions(weights, options.chunking));
+      auto fractions = snap_to_unit_fractions(weights, options.chunking);
+      // Scale by the commodity's shard multiple so chunks tile
+      // [0, snap_demand(demand)); multiplying by snap_demand(1) == 1 leaves
+      // unit-demand commodities untouched.
+      const Rational w_r = snap_demand(cp.demand, options.chunking);
+      for (auto& f : fractions) f = f * w_r;
+      fraction_sets.push_back(std::move(fractions));
     }
   }
   const Rational unit = fractions_hcf(fraction_sets);

@@ -22,17 +22,24 @@
 
 namespace a2a {
 
-/// Weighted routes of one commodity (input to the unroller).
+/// Weighted routes of one commodity (input to the unroller). `demand` is
+/// the commodity's shard multiple: its chunks tile [0, snap_demand(demand))
+/// instead of [0, 1), so a weight-3 commodity moves 3x the chunks of a
+/// weight-1 commodity at the same chunk unit.
 struct CommodityPaths {
   NodeId src = -1;
   NodeId dst = -1;
   std::vector<WeightedPath> paths;
+  double demand = 1.0;
 };
 
-/// Exact lowering of a tsMCF solution to a LinkSchedule.
+/// Exact lowering of a tsMCF solution to a LinkSchedule. With a non-null
+/// `demand`, commodity k's chunks tile [0, snap_demand(w_k)); zero-weight
+/// commodities carry no flow in the tsMCF solution and emit no transfers.
 [[nodiscard]] LinkSchedule compile_tsmcf_schedule(const DiGraph& g,
                                                   const TsMcfSolution& ts,
-                                                  const ChunkingOptions& options = {});
+                                                  const ChunkingOptions& options = {},
+                                                  const DemandMatrix* demand = nullptr);
 
 struct UnrollOptions {
   ChunkingOptions chunking;
@@ -47,8 +54,11 @@ struct UnrollOptions {
                                                 const UnrollOptions& options = {});
 
 /// Extracts CommodityPaths from a per-commodity link-flow solution
-/// (widest-path extraction per commodity, §3.2.1).
+/// (widest-path extraction per commodity, §3.2.1). With a non-null `demand`,
+/// commodity k's extraction target is w_k · F, its CommodityPaths carries
+/// demand = w_k, and zero-weight commodities are omitted from the result.
 [[nodiscard]] std::vector<CommodityPaths> paths_from_link_flows(
-    const DiGraph& g, const LinkFlowSolution& flows);
+    const DiGraph& g, const LinkFlowSolution& flows,
+    const DemandMatrix* demand = nullptr);
 
 }  // namespace a2a

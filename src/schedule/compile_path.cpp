@@ -10,25 +10,35 @@ namespace a2a {
 
 namespace {
 
-PathSchedule compile_from_fraction_sets(
-    const DiGraph& g,
-    const std::vector<std::tuple<NodeId, NodeId, const Path*, double>>& routes,
-    const ChunkingOptions& options) {
+/// One route awaiting chunking: commodity endpoints, path, LP weight, and
+/// the commodity's demand multiple (1 for the uniform pipeline).
+struct PendingRoute {
+  NodeId src;
+  NodeId dst;
+  const Path* path;
+  double weight;
+  double demand;
+};
+
+PathSchedule compile_from_fraction_sets(const DiGraph& g,
+                                        const std::vector<PendingRoute>& routes,
+                                        const ChunkingOptions& options) {
   // Group route weights by commodity, snap each commodity to unit fractions.
   std::vector<std::vector<Rational>> fraction_sets;
   std::vector<std::vector<std::size_t>> route_of;  // indices into `routes`
   std::map<std::pair<NodeId, NodeId>, std::size_t> commodity_slot;
   std::vector<std::vector<double>> weight_sets;
+  std::vector<double> commodity_demand;
   for (std::size_t i = 0; i < routes.size(); ++i) {
-    const auto& [s, d, path, w] = routes[i];
-    const auto key = std::make_pair(s, d);
+    const auto key = std::make_pair(routes[i].src, routes[i].dst);
     auto it = commodity_slot.find(key);
     if (it == commodity_slot.end()) {
       it = commodity_slot.emplace(key, weight_sets.size()).first;
       weight_sets.emplace_back();
       route_of.emplace_back();
+      commodity_demand.push_back(routes[i].demand);
     }
-    weight_sets[it->second].push_back(w);
+    weight_sets[it->second].push_back(routes[i].weight);
     route_of[it->second].push_back(i);
   }
   {
@@ -36,8 +46,13 @@ PathSchedule compile_from_fraction_sets(
                    "snap " + std::to_string(weight_sets.size()) +
                        " commodities to unit fractions");
     fraction_sets.reserve(weight_sets.size());
-    for (const auto& ws : weight_sets) {
-      fraction_sets.push_back(snap_to_unit_fractions(ws, options));
+    for (std::size_t c = 0; c < weight_sets.size(); ++c) {
+      auto fractions = snap_to_unit_fractions(weight_sets[c], options);
+      // Scale to the commodity's shard multiple; snap_demand(1) == 1 keeps
+      // unit-demand commodities untouched.
+      const Rational w_r = snap_demand(commodity_demand[c], options);
+      for (auto& f : fractions) f = f * w_r;
+      fraction_sets.push_back(std::move(fractions));
     }
   }
   const Rational unit = fractions_hcf(fraction_sets);
@@ -49,13 +64,13 @@ PathSchedule compile_from_fraction_sets(
     for (std::size_t p = 0; p < fraction_sets[c].size(); ++p) {
       const Rational& frac = fraction_sets[c][p];
       if (frac.is_zero()) continue;
-      const auto& [s, d, path, w] = routes[route_of[c][p]];
+      const PendingRoute& r = routes[route_of[c][p]];
       const Rational count = frac / unit;
       A2A_ASSERT(count.den() == 1, "global HCF did not divide a fraction");
       RouteEntry entry;
-      entry.src = s;
-      entry.dst = d;
-      entry.path = *path;
+      entry.src = r.src;
+      entry.dst = r.dst;
+      entry.path = *r.path;
       entry.weight = frac.to_double();
       entry.num_chunks = static_cast<int>(count.num());
       sched.entries.push_back(std::move(entry));
@@ -70,12 +85,15 @@ PathSchedule compile_path_schedule(const DiGraph& g, const PathSet& paths,
                                    const std::vector<std::vector<double>>& weights,
                                    const ChunkingOptions& options) {
   A2A_REQUIRE(weights.size() == paths.candidates.size(), "weights shape mismatch");
-  std::vector<std::tuple<NodeId, NodeId, const Path*, double>> routes;
+  std::vector<PendingRoute> routes;
   for (std::size_t k = 0; k < paths.commodities.size(); ++k) {
     const auto [s, d] = paths.commodities[k];
+    const double dk = paths.demand_of(k);
+    if (dk <= 0.0) continue;
     for (std::size_t p = 0; p < paths.candidates[k].size(); ++p) {
       if (weights[k][p] <= 0.0) continue;
-      routes.emplace_back(s, d, &paths.candidates[k][p], weights[k][p]);
+      routes.push_back(PendingRoute{s, d, &paths.candidates[k][p],
+                                    weights[k][p], dk});
     }
   }
   A2A_REQUIRE(!routes.empty(), "no positive-weight routes");
@@ -85,11 +103,13 @@ PathSchedule compile_path_schedule(const DiGraph& g, const PathSet& paths,
 PathSchedule compile_path_schedule(const DiGraph& g,
                                    const std::vector<CommodityPaths>& commodities,
                                    const ChunkingOptions& options) {
-  std::vector<std::tuple<NodeId, NodeId, const Path*, double>> routes;
+  std::vector<PendingRoute> routes;
   for (const CommodityPaths& cp : commodities) {
+    if (cp.demand <= 0.0) continue;
     for (const WeightedPath& wp : cp.paths) {
       if (wp.weight <= 0.0) continue;
-      routes.emplace_back(cp.src, cp.dst, &wp.path, wp.weight);
+      routes.push_back(PendingRoute{cp.src, cp.dst, &wp.path, wp.weight,
+                                    cp.demand});
     }
   }
   A2A_REQUIRE(!routes.empty(), "no positive-weight routes");

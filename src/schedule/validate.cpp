@@ -6,6 +6,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "collectives/demand.hpp"
+
 namespace a2a {
 
 namespace {
@@ -21,6 +23,18 @@ std::string chunk_name(const Chunk& c) {
 ValidationResult validate_link_schedule(const DiGraph& g,
                                         const LinkSchedule& schedule,
                                         const std::vector<NodeId>& terminals) {
+  return validate_link_schedule(g, schedule, terminals, nullptr);
+}
+
+ValidationResult validate_link_schedule(const DiGraph& g,
+                                        const LinkSchedule& schedule,
+                                        const std::vector<NodeId>& terminals,
+                                        const DemandMatrix* demand,
+                                        double demand_tol) {
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == static_cast<int>(terminals.size()),
+                "demand matrix size does not match terminal count");
+  }
   ValidationResult result;
   // Group transfers per chunk identity.
   std::map<std::tuple<NodeId, NodeId, std::int64_t, std::int64_t, std::int64_t,
@@ -74,11 +88,23 @@ ValidationResult validate_link_schedule(const DiGraph& g,
       delivered[{c.src, c.dst}].emplace_back(c.lo, c.hi);
     }
   }
-  // Completeness: every (s,d) shard tiles [0,1).
-  for (const NodeId s : terminals) {
-    for (const NodeId d : terminals) {
+  // Completeness: every (s,d) shard tiles [0, w) — w == 1 without a demand
+  // matrix (checked exactly); w == demand(s,d) within demand_tol otherwise.
+  const int S = static_cast<int>(terminals.size());
+  for (int si = 0; si < S; ++si) {
+    const NodeId s = terminals[static_cast<std::size_t>(si)];
+    for (int di = 0; di < S; ++di) {
+      const NodeId d = terminals[static_cast<std::size_t>(di)];
       if (s == d) continue;
+      const double w = demand == nullptr ? 1.0 : demand->at(si, di);
       auto it = delivered.find({s, d});
+      if (w <= 0.0) {
+        if (it != delivered.end() && !it->second.empty()) {
+          result.fail("zero-demand shard " + std::to_string(s) + "->" +
+                      std::to_string(d) + " has chunks");
+        }
+        continue;
+      }
       if (it == delivered.end()) {
         result.fail("shard " + std::to_string(s) + "->" + std::to_string(d) +
                     " never delivered");
@@ -95,9 +121,14 @@ ValidationResult validate_link_schedule(const DiGraph& g,
         }
         cursor = hi;
       }
-      if (!tiled || !(cursor == Rational(1))) {
+      const bool complete = demand == nullptr
+                                ? cursor == Rational(1)
+                                : std::abs(cursor.to_double() - w) <= demand_tol;
+      if (!tiled || !complete) {
         result.fail("shard " + std::to_string(s) + "->" + std::to_string(d) +
-                    " chunks do not tile [0,1)");
+                    " chunks do not tile [0," +
+                    (demand == nullptr ? std::string("1") : std::to_string(w)) +
+                    ")");
       }
     }
   }
@@ -107,6 +138,18 @@ ValidationResult validate_link_schedule(const DiGraph& g,
 ValidationResult validate_path_schedule(const DiGraph& g,
                                         const PathSchedule& schedule,
                                         const std::vector<NodeId>& terminals) {
+  return validate_path_schedule(g, schedule, terminals, nullptr);
+}
+
+ValidationResult validate_path_schedule(const DiGraph& g,
+                                        const PathSchedule& schedule,
+                                        const std::vector<NodeId>& terminals,
+                                        const DemandMatrix* demand,
+                                        double demand_tol) {
+  if (demand != nullptr) {
+    A2A_REQUIRE(demand->num_terminals() == static_cast<int>(terminals.size()),
+                "demand matrix size does not match terminal count");
+  }
   ValidationResult result;
   std::map<std::pair<NodeId, NodeId>, double> weight_sum;
   std::map<std::pair<NodeId, NodeId>, long long> chunk_sum;
@@ -124,21 +167,39 @@ ValidationResult validate_path_schedule(const DiGraph& g,
     chunk_sum[{r.src, r.dst}] += r.num_chunks;
   }
   const double unit = schedule.chunk_unit.to_double();
-  const auto expected_chunks =
-      static_cast<long long>(std::llround(1.0 / unit));
-  for (const NodeId s : terminals) {
-    for (const NodeId d : terminals) {
+  const int S = static_cast<int>(terminals.size());
+  for (int si = 0; si < S; ++si) {
+    const NodeId s = terminals[static_cast<std::size_t>(si)];
+    for (int di = 0; di < S; ++di) {
+      const NodeId d = terminals[static_cast<std::size_t>(di)];
       if (s == d) continue;
+      const double wd = demand == nullptr ? 1.0 : demand->at(si, di);
       const auto w = weight_sum.find({s, d});
+      if (wd <= 0.0) {
+        if (w != weight_sum.end()) {
+          result.fail("zero-demand commodity " + std::to_string(s) + "->" +
+                      std::to_string(d) + " has routes");
+        }
+        continue;
+      }
       if (w == weight_sum.end()) {
         result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
                     " has no routes");
         continue;
       }
-      if (std::abs(w->second - 1.0) > 1e-6) {
+      // Weight completeness: exact-unit tolerance without a demand matrix
+      // (legacy contract), grid-snap tolerance with one.
+      const double tol = demand == nullptr ? 1e-6 : demand_tol;
+      if (std::abs(w->second - wd) > tol) {
         result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
-                    " weights sum to " + std::to_string(w->second));
+                    " weights sum to " + std::to_string(w->second) +
+                    ", expected " + std::to_string(wd));
       }
+      // Chunk-count consistency: chunks must account for the delivered
+      // weight at the global unit, commodity by commodity — the unit-demand
+      // assumption round(1/unit) no longer holds under weighted shards.
+      const auto expected_chunks =
+          static_cast<long long>(std::llround(w->second / unit));
       if (chunk_sum[{s, d}] != expected_chunks) {
         result.fail("commodity " + std::to_string(s) + "->" + std::to_string(d) +
                     " ships " + std::to_string(chunk_sum[{s, d}]) +

@@ -142,6 +142,12 @@ ServiceRequest parse_service_request(std::string_view query) {
     else if (key == "vc_max_layers_warn") {
       request.options.vc_max_layers_warn = parse_int(key, value);
     }
+    else if (key == "collective") {
+      request.options.workload.collective = collective_from_name(value);
+    }
+    else if (key == "demand") {
+      request.options.workload.demand = DemandSpec::parse(value);
+    }
     else {
       throw InvalidArgument("unknown query parameter: " + key);
     }
@@ -158,8 +164,15 @@ std::string canonical_query(const ServiceRequest& request) {
     sep = "&";
   };
   // Alphabetical, defaults elided — a stable, minimal query.
+  if (request.options.workload.collective !=
+      defaults.options.workload.collective) {
+    emit("collective", collective_name(request.options.workload.collective));
+  }
   if (request.deadline_ms != defaults.deadline_ms) {
     emit("deadline_ms", std::to_string(request.deadline_ms));
+  }
+  if (request.options.workload.demand != defaults.options.workload.demand) {
+    emit("demand", request.options.workload.demand.to_string());
   }
   if (request.spec.degree != defaults.spec.degree) {
     emit("degree", std::to_string(request.spec.degree));

@@ -56,10 +56,11 @@ struct ServiceRequest {
 /// caller mistakes from pipeline failures.
 ///
 /// Recognized keys: topology, dims, nodes, degree, dim, seed, fabric,
-/// deadline_ms, trace, and the fingerprint-relevant pipeline knobs
-/// path_diversity_threshold / exact_tsmcf_limit / vc_max_layers_warn
-/// (exposed so tests and benches can mint distinct fingerprints for an
-/// otherwise identical topology).
+/// deadline_ms, trace, the workload keys collective (a2a | rs | ag |
+/// allreduce) and demand (uniform | zipf:<s> | perm[:<seed>] | block:<k>),
+/// and the fingerprint-relevant pipeline knobs path_diversity_threshold /
+/// exact_tsmcf_limit / vc_max_layers_warn (exposed so tests and benches can
+/// mint distinct fingerprints for an otherwise identical topology).
 [[nodiscard]] ServiceRequest parse_service_request(std::string_view query);
 
 /// The request's canonical query string (sorted keys, only the recognized

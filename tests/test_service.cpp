@@ -92,6 +92,63 @@ TEST(ServiceRequest, RejectsUnknownKeysAndBadValues) {
   EXPECT_THROW((void)service::build_fabric("nosuch"), InvalidArgument);
 }
 
+TEST(ServiceRequest, WorkloadKeysRoundTripAndCanonicalize) {
+  const service::ServiceRequest parsed = service::parse_service_request(
+      "topology=genkautz&nodes=12&degree=3&demand=zipf:1.2&collective=rs");
+  EXPECT_EQ(parsed.options.workload.collective, CollectiveKind::kReduceScatter);
+  EXPECT_EQ(parsed.options.workload.demand.kind, DemandSpec::Kind::kZipf);
+  EXPECT_DOUBLE_EQ(parsed.options.workload.demand.zipf_s, 1.2);
+  // Canonicalization emits the workload keys (alphabetical, defaults
+  // elided) and re-parsing reproduces the request.
+  const std::string canonical = service::canonical_query(parsed);
+  EXPECT_NE(canonical.find("collective=rs"), std::string::npos);
+  EXPECT_NE(canonical.find("demand=zipf:1.2"), std::string::npos);
+  const service::ServiceRequest again =
+      service::parse_service_request(canonical);
+  EXPECT_EQ(again.options.workload, parsed.options.workload);
+  // Long-form aliases resolve to the same canonical collective.
+  EXPECT_EQ(service::parse_service_request("collective=reduce-scatter")
+                .options.workload.collective,
+            CollectiveKind::kReduceScatter);
+  // The default workload stays elided — historical queries canonicalize
+  // unchanged.
+  service::ServiceRequest plain;
+  plain.spec.nodes = 12;
+  EXPECT_EQ(service::canonical_query(plain).find("collective"),
+            std::string::npos);
+}
+
+TEST(ServiceRequest, WorkloadsMintDistinctFingerprints) {
+  const DiGraph topo = service::build_topology(
+      {.topology = "genkautz", .nodes = 12, .degree = 3});
+  const Fabric fabric = service::build_fabric("cerio");
+  const auto fp = [&](const char* query) {
+    return schedule_fingerprint(topo, fabric,
+                                service::parse_service_request(query).options);
+  };
+  const std::string base = fp("");
+  const std::string skewed = fp("demand=zipf:1.2");
+  const std::string rs = fp("collective=rs");
+  const std::string rs_skewed = fp("demand=zipf:1.2&collective=rs");
+  EXPECT_NE(base, skewed);
+  EXPECT_NE(base, rs);
+  EXPECT_NE(skewed, rs);
+  EXPECT_NE(rs, rs_skewed);
+  // And the uniform-workload fingerprint is exactly the pre-workload one:
+  // an explicitly-spelled default elides from the fingerprint.
+  EXPECT_EQ(base, fp("collective=a2a&demand=uniform"));
+}
+
+TEST(ServiceRequest, MalformedWorkloadValuesThrow) {
+  for (const char* query :
+       {"collective=broadcast", "collective=", "demand=zipf",
+        "demand=zipf:junk", "demand=zipf:9.5", "demand=block:0",
+        "demand=nosuch"}) {
+    EXPECT_THROW((void)service::parse_service_request(query), InvalidArgument)
+        << query;
+  }
+}
+
 TEST(ServiceRequest, BuildersMatchSchedgenFamilies) {
   service::TopologySpec spec;
   spec.topology = "genkautz";
@@ -385,7 +442,32 @@ TEST(ScheduleServer, RoundTripServesSchedBinAndMetrics) {
   EXPECT_EQ(metrics_body.front(), '{');
   EXPECT_NE(metrics_body.find("\"service.requests\""), std::string::npos);
 
+  // Weighted and lowered workloads serve end-to-end through the same
+  // transport, each under its own fingerprint (a miss, not the ring hit).
+  const std::string skewed = http_request(
+      server.port(), "GET", "/schedule?topology=ring&nodes=6&demand=zipf:1.2");
+  EXPECT_NE(skewed.find("200 OK"), std::string::npos);
+  EXPECT_NE(skewed.find("X-A2A-Hit: 0"), std::string::npos);
+  EXPECT_NE(body_of(skewed), payload);
+  const std::string reduce_scatter = http_request(
+      server.port(), "GET", "/schedule?topology=ring&nodes=6&collective=rs");
+  EXPECT_NE(reduce_scatter.find("200 OK"), std::string::npos);
+  // Repeating the skewed request hits its cached entry.
+  EXPECT_NE(
+      http_request(server.port(), "GET",
+                   "/schedule?topology=ring&nodes=6&demand=zipf:1.2")
+          .find("X-A2A-Hit: 1"),
+      std::string::npos);
+
   EXPECT_NE(http_request(server.port(), "GET", "/schedule?bogus=1")
+                .find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "GET",
+                         "/schedule?topology=ring&nodes=6&demand=zipf:bad")
+                .find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "GET",
+                         "/schedule?topology=ring&nodes=6&collective=nosuch")
                 .find("400 Bad Request"),
             std::string::npos);
   EXPECT_NE(http_request(server.port(), "GET", "/nosuch").find("404"),

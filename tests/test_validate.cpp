@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "collectives/demand.hpp"
 #include "graph/topologies.hpp"
 #include "mcf/concurrent_flow.hpp"
 
@@ -126,6 +127,107 @@ TEST(ValidatePath, AcceptsCompleteSchedule) {
   add(0, 2, {g.find_edge(0, 3), g.find_edge(3, 2)}, 0.5, 1);
   add(2, 0, {g.find_edge(2, 1), g.find_edge(1, 0)}, 1.0, 2);
   EXPECT_TRUE(validate_path_schedule(g, sched, {0, 2}).ok);
+}
+
+// ---- demand-aware contracts -------------------------------------------------
+
+TEST(ValidatePath, ZeroWeightCommodityMustHaveNoRoutes) {
+  const DiGraph g = make_complete(3);
+  // Demand over terminals {0, 1, 2}: only 0->1 and 1->0 move bytes.
+  DemandMatrix demand(3, 0.0);
+  demand.set(0, 1, 1.0);
+  demand.set(1, 0, 1.0);
+  PathSchedule sched;
+  sched.num_nodes = 3;
+  sched.chunk_unit = Rational(1);
+  auto add = [&](NodeId s, NodeId d) {
+    RouteEntry r;
+    r.src = s;
+    r.dst = d;
+    r.path = {g.find_edge(s, d)};
+    r.weight = 1.0;
+    r.num_chunks = 1;
+    sched.entries.push_back(r);
+  };
+  add(0, 1);
+  add(1, 0);
+  EXPECT_TRUE(validate_path_schedule(g, sched, all_nodes(g), &demand).ok);
+  // A route on a zero-demand commodity is a contract violation, not slack.
+  add(0, 2);
+  EXPECT_FALSE(validate_path_schedule(g, sched, all_nodes(g), &demand).ok);
+  // The same schedule also fails the legacy unit-demand contract (2->*
+  // shards are missing), so the overloads agree on rejection here.
+  EXPECT_FALSE(validate_path_schedule(g, sched, all_nodes(g)).ok);
+}
+
+TEST(ValidatePath, ChunkCountsScaleWithCommodityWeight) {
+  // Regression for the unit-demand assumption round(1/unit): a weight-3
+  // commodity ships 3x the chunks of a weight-1 commodity at the same unit,
+  // and the validator must demand exactly that, commodity by commodity.
+  const DiGraph g = make_complete(2);
+  DemandMatrix demand(2, 0.0);
+  demand.set(0, 1, 3.0);
+  demand.set(1, 0, 1.0);
+  PathSchedule sched;
+  sched.num_nodes = 2;
+  sched.chunk_unit = Rational(1, 2);
+  auto add = [&](NodeId s, NodeId d, double w, int chunks) {
+    RouteEntry r;
+    r.src = s;
+    r.dst = d;
+    r.path = {g.find_edge(s, d)};
+    r.weight = w;
+    r.num_chunks = chunks;
+    sched.entries.push_back(r);
+  };
+  add(0, 1, 3.0, 6);  // 3 shards at unit 1/2 -> 6 chunks
+  add(1, 0, 1.0, 2);
+  EXPECT_TRUE(validate_path_schedule(g, sched, all_nodes(g), &demand).ok);
+  // Under-shipping the heavy commodity (unit-demand chunk count) must fail.
+  sched.entries[0].num_chunks = 2;
+  EXPECT_FALSE(validate_path_schedule(g, sched, all_nodes(g), &demand).ok);
+}
+
+TEST(ValidateLink, ZeroWeightShardMustShipNoChunks) {
+  const DiGraph g = make_complete(3);
+  DemandMatrix demand(3, 1.0);
+  for (int d = 0; d < 3; ++d) {
+    if (d != 2) demand.set(2, d, 0.0);  // rank 2 is a silent source
+  }
+  LinkSchedule sched;
+  sched.num_nodes = 3;
+  sched.num_steps = 1;
+  for (NodeId s = 0; s < 2; ++s) {
+    for (NodeId d = 0; d < 3; ++d) {
+      if (s != d) sched.transfers.push_back(Transfer{whole(s, d), s, d, 1});
+    }
+  }
+  EXPECT_TRUE(validate_link_schedule(g, sched, all_nodes(g), &demand).ok);
+  // Chunks from the silenced source violate the demand contract.
+  sched.transfers.push_back(Transfer{whole(2, 0), 2, 0, 1});
+  EXPECT_FALSE(validate_link_schedule(g, sched, all_nodes(g), &demand).ok);
+}
+
+TEST(ValidateLink, WeightedShardMustTileToItsDemand) {
+  const DiGraph g = make_complete(2);
+  DemandMatrix demand(2, 0.0);
+  demand.set(0, 1, 2.0);
+  demand.set(1, 0, 1.0);
+  LinkSchedule sched;
+  sched.num_nodes = 2;
+  sched.num_steps = 1;
+  // 0->1 tiles [0, 2) in two unit chunks; 1->0 tiles [0, 1).
+  sched.transfers.push_back(
+      Transfer{Chunk{0, 1, Rational(0), Rational(1)}, 0, 1, 1});
+  sched.transfers.push_back(
+      Transfer{Chunk{0, 1, Rational(1), Rational(2)}, 0, 1, 1});
+  sched.transfers.push_back(Transfer{whole(1, 0), 1, 0, 1});
+  EXPECT_TRUE(validate_link_schedule(g, sched, all_nodes(g), &demand).ok);
+  // Delivering only the unit prefix of the weight-2 shard must fail.
+  sched.transfers.pop_back();
+  sched.transfers.pop_back();
+  sched.transfers.push_back(Transfer{whole(1, 0), 1, 0, 1});
+  EXPECT_FALSE(validate_link_schedule(g, sched, all_nodes(g), &demand).ok);
 }
 
 }  // namespace

@@ -64,6 +64,8 @@ struct Args {
   std::string metrics_file;
   std::string failure_domain_dir;
   std::string inject;
+  std::string collective = "a2a";
+  std::string demand = "uniform";
   double deadline_ms = 250.0;
   bool stats = false;
   bool report_only = false;
@@ -82,6 +84,9 @@ void usage() {
       "  --dim K           dimension (hypercube/twisted/debruijn)\n"
       "  --seed S          RNG seed for randomized families\n"
       "  --fabric NAME     cerio|gpu|oneccl\n"
+      "  --collective NAME a2a|rs|ag|allreduce (default: a2a)\n"
+      "  --demand SPEC     uniform|zipf:<s>|perm[:<seed>]|block:<k>\n"
+      "                    (default: uniform)\n"
       "  --output FILE     write the schedule here (default: stdout)\n"
       "  --format FMT      xml|schedbin (default: xml)\n"
       "  --codec NAME      schedbin codec: raw|rle|delta|dict (default: delta)\n"
@@ -431,6 +436,8 @@ int main(int argc, char** argv) {
     else if (flag == "--dim") args.dim = std::stoi(value());
     else if (flag == "--seed") args.seed = std::stoull(value());
     else if (flag == "--fabric") args.fabric = value();
+    else if (flag == "--collective") args.collective = value();
+    else if (flag == "--demand") args.demand = value();
     else if (flag == "--output" || flag == "-o") args.output = value();
     else if (flag == "--format") args.format = value();
     else if (flag == "--codec") args.codec = value();
@@ -514,8 +521,11 @@ int main(int argc, char** argv) {
 
     const DiGraph topo = build_topology(args);
     const Fabric fabric = build_fabric(args.fabric);
+    ToolchainOptions options;
+    options.workload.collective = collective_from_name(args.collective);
+    options.workload.demand = DemandSpec::parse(args.demand);
     std::cerr << "topology: " << topo.summary() << ", fabric: " << fabric.name
-              << "\n";
+              << ", workload: " << options.workload.to_string() << "\n";
 
     std::optional<ScheduleCache> cache;
     if (!args.cache_dir.empty()) {
@@ -525,7 +535,7 @@ int main(int argc, char** argv) {
       cache.emplace(std::move(cache_options));
     }
     const GeneratedSchedule result =
-        generate_schedule(topo, fabric, {}, cache ? &*cache : nullptr);
+        generate_schedule(topo, fabric, options, cache ? &*cache : nullptr);
     std::cerr << "pipeline: " << result.notes
               << (result.from_cache ? " [served from cache]" : "") << "\n";
     std::cerr << "concurrent rate F = " << result.concurrent_flow
@@ -547,12 +557,23 @@ int main(int argc, char** argv) {
       };
     }
 
+    // Validate against the workload's demand matrix (sized to the pipeline's
+    // terminal set — hosts when augmentation ran); nullptr keeps the exact
+    // unit-demand contract for the default workload.
+    std::optional<DemandMatrix> demand_check;
+    if (!options.workload.is_default()) {
+      demand_check = effective_demand(
+          options.workload, static_cast<int>(result.terminals.size()));
+    }
+    const DemandMatrix* demand_ptr =
+        demand_check.has_value() ? &*demand_check : nullptr;
+
     std::string payload;
     if (result.path.has_value()) {
       const auto validation = [&] {
         A2A_TRACE_SPAN("stage.validate", "path schedule");
         return validate_path_schedule(result.schedule_graph, *result.path,
-                                      result.terminals);
+                                      result.terminals, demand_ptr);
       }();
       A2A_REQUIRE(validation.ok, "generated schedule failed validation");
       const auto stats = analyze_path_schedule(result.schedule_graph, *result.path);
@@ -567,7 +588,7 @@ int main(int argc, char** argv) {
       const auto validation = [&] {
         A2A_TRACE_SPAN("stage.validate", "link schedule");
         return validate_link_schedule(result.schedule_graph, *result.link,
-                                      result.terminals);
+                                      result.terminals, demand_ptr);
       }();
       A2A_REQUIRE(validation.ok, "generated schedule failed validation");
       const auto stats = analyze_link_schedule(result.schedule_graph, *result.link);
